@@ -1,0 +1,20 @@
+"""Shared benchmark settings.
+
+Every benchmark runs its experiment once (``pedantic`` with one round):
+the simulator is deterministic per seed, so repeated rounds only waste
+wall-clock; the *measured* quantity is the simulated-hardware outcome,
+not Python wall time.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                  iterations=1)
+
+    return runner

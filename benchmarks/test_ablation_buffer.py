@@ -1,0 +1,22 @@
+"""A2 — buffer-pool sweep: residency length vs IPA conformance."""
+
+from repro.bench.ablations import report, sweep_buffer
+
+
+def test_buffer_sweep(once):
+    rows = once(sweep_buffer, transactions=1500, sizes=(8, 16, 32, 64))
+    print()
+    print(report(rows, "A2 — buffer sweep (TPC-B, [2x4] pSLC)"))
+
+    # Bigger pools hit more, so fewer device writes overall...
+    writes = [
+        r.result.host_writes + r.result.host_delta_writes for r in rows
+    ]
+    assert writes[0] > writes[-1]
+
+    # ...but very large pools accumulate updates past N x M, so the IPA
+    # share of dirty evictions does not keep improving.
+    fractions = [r.ipa_fraction for r in rows]
+    assert max(fractions) > 0.3
+    # Small pools keep residencies short: conformance stays healthy there.
+    assert fractions[0] > 0.3

@@ -1,0 +1,22 @@
+"""A3 — over-provisioning sweep: GC pressure under both write paths."""
+
+from repro.bench.ablations import report, sweep_over_provisioning
+
+
+def test_over_provisioning_sweep(once):
+    rows = once(sweep_over_provisioning, transactions=1500)
+    print()
+    print(report(rows, "A3 — over-provisioning sweep (TPC-B)"))
+
+    traditional = [r for r in rows if r.label.startswith("traditional")]
+    ipa = [r for r in rows if r.label.startswith("ipa")]
+
+    # More OP => emptier victims => fewer migrations (baseline).
+    migrations = [r.result.gc_page_migrations for r in traditional]
+    assert migrations[0] >= migrations[-1]
+
+    # IPA's GC load sits below the baseline at the same OP point.
+    for base_row, ipa_row in zip(traditional, ipa):
+        base_gc = base_row.result.gc_page_migrations + base_row.result.gc_erases
+        ipa_gc = ipa_row.result.gc_page_migrations + ipa_row.result.gc_erases
+        assert ipa_gc <= base_gc

@@ -1,0 +1,29 @@
+"""A4 — IPL sizing sweep vs the IPA reference (single shared trace)."""
+
+from repro.bench.ipl_sweep import report, run
+
+
+def test_ipl_sweep(once):
+    rows = once(run, transactions=1500)
+    print()
+    print(report(rows))
+
+    ipa = rows[0].result
+    ipl_rows = [r.result for r in rows[1:]]
+
+    # IPA reads less than every IPL configuration (log pages hurt reads).
+    assert all(ipa.flash_reads < r.flash_reads for r in ipl_rows)
+
+    # Larger log regions trade erases for reads.
+    by_label = {r.label: r.result for r in rows}
+    small = by_label["IPL log=4p sector=512B"]
+    large = by_label["IPL log=16p sector=512B"]
+    assert large.erases <= small.erases
+    assert large.flash_reads >= small.flash_reads
+
+    # No IPL point matches IPA on both axes at once.
+    for r in ipl_rows:
+        assert not (
+            r.physical_writes <= ipa.physical_writes
+            and r.flash_reads <= ipa.flash_reads
+        )

@@ -1,0 +1,28 @@
+"""A1 — N x M sweep: delta-area budget vs in-place eviction share."""
+
+from repro.bench.ablations import report, sweep_nxm
+
+
+def test_nxm_sweep(once):
+    rows = once(sweep_nxm, transactions=1500)
+    print()
+    print(report(rows, "A1 — N x M sweep (TPC-B, pSLC)"))
+
+    by_label = {r.label: r for r in rows}
+
+    # More records per page (N) admits more in-place evictions.
+    assert by_label["[2x4]"].ipa_fraction > by_label["[1x4]"].ipa_fraction
+    assert by_label["[4x4]"].ipa_fraction >= by_label["[2x4]"].ipa_fraction
+
+    # Every enabled scheme keeps a sane write path (no catastrophic GC).
+    for row in rows:
+        assert row.result.transactions > 0
+        assert row.ipa_fraction > 0.10
+
+    # Larger areas invalidate fewer pages per committed transaction.
+    small = by_label["[1x4]"].result
+    large = by_label["[4x8]"].result
+    assert (
+        large.page_invalidations / large.transactions
+        < small.page_invalidations / small.transactions
+    )

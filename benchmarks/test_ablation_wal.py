@@ -1,0 +1,26 @@
+"""A5 — WAL on/off: durability cost does not erase IPA's advantage."""
+
+from repro.bench.ablations import report, sweep_wal
+
+
+def test_wal_sweep(once):
+    rows = once(sweep_wal, transactions=1500)
+    print()
+    print(report(rows, "A5 — write-ahead logging on/off (TPC-B)"))
+
+    by_label = {r.label: r for r in rows}
+    base_off = by_label["traditional wal=off"].result
+    base_on = by_label["traditional wal=on"].result
+    ipa_off = by_label["ipa-native wal=off"].result
+    ipa_on = by_label["ipa-native wal=on"].result
+
+    # Commit forcing costs throughput in both worlds.
+    assert base_on.tps < base_off.tps
+    assert ipa_on.tps < ipa_off.tps
+
+    # IPA's advantage survives durable commits.
+    assert ipa_on.tps > base_on.tps
+    assert ipa_on.gc_erases <= base_on.gc_erases
+
+    # The GC profile is unchanged by logging (separate log device).
+    assert ipa_on.page_invalidations <= ipa_off.page_invalidations * 1.2

@@ -1,0 +1,24 @@
+"""E2 — regenerate Figure 1 (write-amplification of one small update)."""
+
+from repro.bench.fig1 import UPDATE_BYTES, report, run
+
+
+def test_fig1_write_amplification(once):
+    rows = once(run)
+    print()
+    print(report(rows))
+
+    traditional, ipa = rows
+    # Traditional: whole 8 KB page for a 10-byte update, 1+ invalidation.
+    assert traditional.bytes_transferred == 8192
+    assert traditional.pages_invalidated >= 1
+    assert traditional.write_amplification > 500  # paper: ~80x at 100 B net
+
+    # IPA: a delta-record of ~100 bytes, no invalidation.
+    assert ipa.bytes_transferred < 128
+    assert ipa.bytes_transferred >= UPDATE_BYTES
+    assert ipa.pages_invalidated == 0
+    assert ipa.write_amplification < 15
+
+    # The headline ratio of Figure 1.
+    assert traditional.bytes_transferred / ipa.bytes_transferred > 50

@@ -1,0 +1,22 @@
+"""E3 — regenerate Figure 2 (ISPP and the in-place programming rule)."""
+
+from repro.bench.fig2_ispp import report, run
+
+
+def test_fig2_ispp(once):
+    demo = once(run)
+    print()
+    print(report(demo))
+
+    # The staircase exists and is monotone (Figure 2, right).
+    assert demo.slc_pulses_to_program > 1
+    assert demo.staircase == sorted(demo.staircase)
+
+    # MLC needs finer steps => more pulses => slower (MSB latency premium).
+    assert demo.mlc_pulses_to_program > 2 * demo.slc_pulses_to_program
+    assert demo.mlc_program_us > demo.slc_program_us
+
+    # The two facts that enable IPA:
+    assert demo.append_pulses > 0  # charge increase: no erase needed
+    assert demo.identical_reprogram_pulses == 0  # unchanged data is free
+    assert demo.decrease_rejected  # erase-before-overwrite enforced

@@ -1,0 +1,28 @@
+"""E4 — regenerate Figure 3 (page format and delta-area sizing)."""
+
+from repro.bench.fig3_layout import report, run
+from repro.core.config import DELTA_METADATA_SIZE
+
+
+def test_fig3_layout(once):
+    rows = once(run)
+    print()
+    print(report(rows))
+
+    by_scheme = {r.scheme: r for r in rows}
+
+    # The paper's formula for the Table-1 scheme: 2 x (1 + 12 + 32) = 90.
+    assert by_scheme["[2x4]"].delta_area == 2 * (1 + 12 + DELTA_METADATA_SIZE)
+    assert by_scheme["[2x4]"].record_size == 45
+
+    # Overhead stays marginal at sane schemes (paper: delta area is small).
+    assert by_scheme["[2x4]"].page_overhead_pct < 2.0
+
+    # Monotonicity: larger N x M -> larger area, less body.
+    areas = [r.delta_area for r in rows]
+    bodies = [r.usable_body for r in rows]
+    assert areas == sorted(areas)
+    assert bodies == sorted(bodies, reverse=True)
+
+    # Every configuration's ECC slots fit the Jasmine 128-byte OOB.
+    assert all(r.oob_fits for r in rows)

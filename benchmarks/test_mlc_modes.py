@@ -1,0 +1,31 @@
+"""E8 — Section 3: program interference under the four Flash modes."""
+
+from repro.bench.mlc_modes import report, run
+
+
+def test_mlc_mode_safety(once):
+    rows = once(run)
+    print()
+    print(report(rows))
+
+    by_mode = {r.mode: r for r in rows}
+
+    # SLC and pSLC: interference negligible (wide voltage windows).
+    assert by_mode["slc"].survived
+    assert by_mode["pslc"].survived
+    assert by_mode["slc"].uncorrectable_reads == 0
+
+    # odd-MLC: full capacity, appends confined to LSB pages; ECC absorbs
+    # the modest disturb.
+    odd = by_mode["odd-mlc"]
+    assert odd.survived
+    assert odd.capacity_factor == 1.0
+    assert odd.appendable_fraction == 0.5
+
+    # Full MLC: the append storm breaks neighbours past ECC capability —
+    # the paper's reason pSLC/odd-MLC exist.
+    assert not by_mode["mlc"].survived
+    assert by_mode["mlc"].uncorrectable_reads > 0
+
+    # pSLC's price is capacity.
+    assert by_mode["pslc"].capacity_factor == 0.5

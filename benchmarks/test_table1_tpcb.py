@@ -1,0 +1,41 @@
+"""E1 — regenerate the paper's Table 1 (TPC-B, [0x0] vs [2x4] modes).
+
+Expected shape (paper, 2 h on OpenSSD):
+  TPS:      260 -> 380 (+46 %) pSLC, 313 (+20 %) odd-MLC
+  GC migrations per host write: -83 % (pSLC), -55 % (odd-MLC)
+  GC erases per host write:     -69 % (pSLC), -59 % (odd-MLC)
+  Host reads/writes INCREASE (fixed-duration runs do more work).
+"""
+
+from repro.bench.table1 import Table1Settings, report, run
+
+
+def test_table1_tpcb(once):
+    results = once(run, Table1Settings(duration_s=5.0))
+    print()
+    print(report(results))
+
+    base = results["[0x0]"]
+    pslc = results["[2x4] pSLC"]
+    odd = results["[2x4] odd-MLC"]
+
+    # Throughput ordering: pSLC > odd-MLC > traditional.
+    assert pslc.tps > odd.tps > base.tps
+    # Substantial gains (paper: +46 % / +20 %; shape: at least +10 %).
+    assert pslc.tps > base.tps * 1.10
+    assert odd.tps > base.tps * 1.05
+
+    # Fixed-duration runs: faster configs do MORE host I/O (paper rows 1-2).
+    assert pslc.host_reads > base.host_reads
+    assert pslc.host_writes > base.host_writes
+
+    # GC overhead per host write drops sharply (paper rows 5-6).
+    assert pslc.migrations_per_host_write < base.migrations_per_host_write * 0.6
+    assert odd.migrations_per_host_write < base.migrations_per_host_write * 0.8
+    assert odd.erases_per_host_write < base.erases_per_host_write * 0.7
+
+    # IPA actually happened: delta writes on the native interface.
+    assert pslc.host_delta_writes > 0
+    assert odd.host_delta_writes > 0
+    # odd-MLC can only append on LSB-resident pages: fewer deltas than pSLC.
+    assert odd.host_delta_writes < pslc.host_delta_writes

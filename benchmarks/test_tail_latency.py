@@ -1,0 +1,25 @@
+"""E11 (extension) — tail latency: IPA shrinks the GC-stall tail."""
+
+from repro.bench.tail_latency import report, run
+
+
+def test_tail_latency(once):
+    rows = once(run, transactions=2500)
+    print()
+    print(report(rows))
+
+    traditional = rows[0].result
+    ipa = rows[1].result
+
+    # Both configurations pay similar medians (a miss costs a read)...
+    assert traditional.latency_p50_us > 0
+    assert ipa.latency_p50_us > 0
+
+    # ...but the baseline's tail carries GC stalls.
+    assert ipa.latency_p99_us < traditional.latency_p99_us
+    assert ipa.latency_max_us < traditional.latency_max_us
+
+    # The tail dominance shows in the p99/p50 ratio.
+    base_ratio = traditional.latency_p99_us / traditional.latency_p50_us
+    ipa_ratio = ipa.latency_p99_us / ipa.latency_p50_us
+    assert ipa_ratio < base_ratio

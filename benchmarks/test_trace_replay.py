@@ -1,0 +1,40 @@
+"""E6 (trace-driven variant) — replay one trace through IPA and IPL.
+
+The paper's method: record a trace from the running DBMS, replay it
+through each storage organisation.  Identical logical I/O, different
+physical outcome.
+"""
+
+from repro.core.config import SCHEME_2X4
+from repro.workloads.tpcb import TpcbWorkload
+from repro.workloads.trace import record_trace, replay_on_ipa, replay_on_ipl
+
+
+def test_trace_replay_ipa_vs_ipl(once):
+    def capture_and_replay():
+        trace = record_trace(
+            TpcbWorkload(scale=1, accounts_per_branch=8000, history_pages=400),
+            transactions=4000,
+            buffer_pages=32,
+        )
+        return (
+            trace,
+            replay_on_ipa(trace, SCHEME_2X4),
+            replay_on_ipl(trace),
+        )
+
+    trace, ipa, ipl = once(capture_and_replay)
+    print()
+    print(f"trace: {len(trace.events)} events over {trace.max_lba + 1} LBAs")
+    for r in (ipa, ipl):
+        print(
+            f"  {r.label}: writes={r.physical_writes} erases={r.erases} "
+            f"reads={r.flash_reads}"
+        )
+
+    # Same trace, fewer physical writes under IPA (paper: -23..-62 %).
+    assert ipa.physical_writes < ipl.physical_writes
+    # IPL's structural read overhead: log pages on every logical read.
+    assert ipl.flash_reads > ipa.flash_reads * 1.5
+    # IPA actually used the append path.
+    assert ipa.device_stats.in_place_appends > 0

@@ -1,0 +1,25 @@
+"""E10 (extension) — YCSB mixes and the M-vs-field-width effect."""
+
+from repro.bench.ycsb_mixes import report, run
+
+
+def test_ycsb_mixes(once):
+    rows = once(run, transactions=1200, records=2000)
+    print()
+    print(report(rows))
+
+    def pick(mix, label):
+        return next(r for r in rows if r.mix == mix and r.label == label)
+
+    # Whole-field updates: [2x4] cannot capture them, [2x12] can.
+    assert pick("a", "[2x4]").ipa_share == 0.0
+    assert pick("a", "[2x12]").ipa_share > 0.3
+
+    # With a fitting M, the update-heavy mix invalidates far less.
+    assert (
+        pick("a", "[2x12]").result.page_invalidations
+        < pick("a", "[0x0]").result.page_invalidations * 0.8
+    )
+
+    # Read-only mix: nothing to append anywhere.
+    assert pick("c", "[2x12]").result.host_delta_writes == 0

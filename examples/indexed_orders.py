@@ -1,0 +1,99 @@
+"""An order system with a paged B+-tree secondary index on IPA storage.
+
+Demonstrates the full substrate stack working together: heap-file order
+records, a B+-tree mapping order timestamps to order ids (range-scan
+queries), and IPA regions carrying both — index *value* updates are
+small and ship as delta-records, index *splits* go out-of-place, exactly
+as the storage manager's conformance rules dictate.
+
+Run:
+    python examples/indexed_orders.py
+"""
+
+import numpy as np
+
+from repro.core.config import SCHEME_2X4
+from repro.engine import Column, ColumnType, Database, Schema
+from repro.flash import FlashChip, FlashGeometry
+from repro.ftl import IpaRegionConfig, NoFtlDevice
+from repro.storage.btree import BPlusTree
+from repro.storage.manager import IpaNativePolicy, StorageManager
+
+ORDERS = 1500
+
+
+def main() -> None:
+    chip = FlashChip(
+        FlashGeometry(page_size=2048, oob_size=128, pages_per_block=16,
+                      blocks=96)
+    )
+    device = NoFtlDevice(chip, over_provisioning=0.15)
+    device.create_region("orders", blocks=96, ipa=IpaRegionConfig(2, 4))
+    manager = StorageManager(
+        device, SCHEME_2X4, IpaNativePolicy(), buffer_capacity=24
+    )
+    db = Database(manager)
+
+    orders = db.create_table(
+        "orders",
+        Schema(
+            [
+                Column("order_id", ColumnType.INT32),
+                Column("status", ColumnType.INT32),  # 0=new 1=paid 2=shipped
+                Column("amount", ColumnType.INT64),
+                Column("note", ColumnType.CHAR, 32),
+            ]
+        ),
+        n_pages=80,
+        pk="order_id",
+    )
+    # Secondary index: submission timestamp -> order id.
+    base, _end = manager.allocate_lba_range(80)
+    by_time = BPlusTree(manager, base, 80, value_size=4)
+
+    rng = np.random.default_rng(99)
+    timestamps = {}
+    for order_id in range(ORDERS):
+        ts = int(order_id * 10 + rng.integers(0, 9))
+        orders.insert(
+            {"order_id": order_id, "status": 0,
+             "amount": int(rng.integers(100, 100000)), "note": "n" * 10}
+        )
+        by_time.insert(ts, order_id.to_bytes(4, "little"))
+        timestamps[order_id] = ts
+    db.checkpoint()
+    print(f"loaded {ORDERS} orders; index pages: {by_time._allocated}")
+
+    # Status transitions: tiny 1-byte updates scattered across pages, the
+    # arrival pattern of real payment confirmations.
+    before = device.stats.snapshot()
+    paid_ids = sorted(rng.choice(ORDERS, size=120, replace=False).tolist())
+    for order_id in paid_ids:
+        with db.begin("pay"):
+            orders.update_field(int(order_id), "status", 1)
+        db.checkpoint()  # payment service persists each confirmation
+    diff = device.stats.diff(before)
+    print(f"\n{len(paid_ids)} status updates: "
+          f"{diff.host_delta_writes} delta writes, "
+          f"{diff.host_writes} page writes, "
+          f"{diff.page_invalidations} invalidations")
+
+    # Range query through the B+-tree: orders from a time window.
+    low, high = 5000, 5200
+    window = [
+        int.from_bytes(v, "little") for _k, v in by_time.range(low, high)
+    ]
+    print(f"\norders submitted in t=[{low}, {high}]: {len(window)}")
+    paid = sum(
+        1 for oid in window if orders.get(oid)["status"] == 1
+    )
+    print(f"of which paid: {paid}")
+
+    # Sanity: index agrees with the table.
+    sample = window[0]
+    assert timestamps[sample] >= low
+    print("\nindex/table cross-check passed.")
+
+
+if __name__ == "__main__":
+    main()

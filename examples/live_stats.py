@@ -1,0 +1,90 @@
+"""Live run statistics — the demo GUI's monitoring pane (paper Figure 5).
+
+The EDBT demo let the audience watch throughput evolve during the run.
+This example samples the simulated run every few thousand transactions
+and prints the live series: instantaneous TPS, in-place-append share,
+GC activity, and the simulated-time budget (where the microseconds go).
+
+Run:
+    python examples/live_stats.py
+    python examples/live_stats.py --arch traditional
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.bench.harness import ExperimentConfig, build_stack
+from repro.core.config import SCHEME_2X4
+from repro.flash.modes import FlashMode
+from repro.workloads.tpcb import TpcbWorkload
+
+SLICES = 10
+TXNS_PER_SLICE = 800
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--arch", choices=("ipa-native", "ipa-blockdev", "traditional"),
+        default="ipa-native",
+    )
+    args = parser.parse_args()
+
+    is_ipa = args.arch.startswith("ipa")
+    config = ExperimentConfig(
+        workload=TpcbWorkload(scale=1, accounts_per_branch=8000,
+                              history_pages=400),
+        architecture=args.arch,
+        mode=FlashMode.PSLC if is_ipa else FlashMode.MLC,
+        scheme=SCHEME_2X4,
+        buffer_pages=24,
+    ) if is_ipa else ExperimentConfig(
+        workload=TpcbWorkload(scale=1, accounts_per_branch=8000,
+                              history_pages=400),
+        architecture=args.arch,
+        mode=FlashMode.MLC,
+        buffer_pages=24,
+    )
+    db, manager = build_stack(config)
+    rng = np.random.default_rng(42)
+    print(f"loading TPC-B ({config.workload.n_accounts} accounts) on "
+          f"{args.arch} ...")
+    config.workload.build(db, rng)
+    manager.clock.reset()
+
+    print(f"\n{'slice':>5} {'sim-time':>9} {'TPS':>7} {'appends':>8} "
+          f"{'oop':>6} {'migr':>6} {'erases':>7}  time budget")
+    previous_device = manager.device.stats.snapshot()
+    previous_time = 0.0
+    previous_txns = 0
+    for slice_no in range(1, SLICES + 1):
+        for _ in range(TXNS_PER_SLICE):
+            config.workload.transaction(db, rng)
+        now = manager.clock.now_s
+        txns = db.txn_stats.committed
+        device = manager.device.stats
+        diff = device.diff(previous_device)
+        tps = (txns - previous_txns) / max(now - previous_time, 1e-9)
+        budget = manager.clock.breakdown_us
+        total = sum(budget.values()) or 1.0
+        budget_line = " ".join(
+            f"{k}:{100 * v / total:.0f}%"
+            for k, v in sorted(budget.items(), key=lambda kv: -kv[1])[:4]
+        )
+        print(f"{slice_no:>5} {now:>8.2f}s {tps:>7.0f} "
+              f"{diff.in_place_appends:>8} {diff.out_of_place_writes:>6} "
+              f"{diff.gc_page_migrations:>6} {diff.gc_erases:>7}  "
+              f"{budget_line}")
+        previous_device = device.snapshot()
+        previous_time = now
+        previous_txns = txns
+
+    db.checkpoint()
+    print(f"\nfinal: {db.txn_stats.committed} txns in "
+          f"{manager.clock.now_s:.2f} simulated s "
+          f"({db.txn_stats.committed / manager.clock.now_s:,.0f} TPS)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline on old pip."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Analyses behind the paper's Section 1 claims.
+
+* :mod:`repro.analysis.update_sizes` — the ">70 % of evicted dirty 8 KB
+  pages modify <100 bytes" histogram.
+* :mod:`repro.analysis.write_amplification` — DBMS write-amplification
+  (~80x) and device write-amplification.
+* :mod:`repro.analysis.longevity` — SSD lifetime from erase counts
+  (the "doubling Flash longevity" claim).
+"""
+
+from repro.analysis.longevity import LongevityEstimate, estimate_longevity
+from repro.analysis.update_sizes import UpdateSizeReport, analyze_update_sizes
+from repro.analysis.write_amplification import (
+    WriteAmplificationReport,
+    write_amplification,
+)
+
+__all__ = [
+    "LongevityEstimate",
+    "UpdateSizeReport",
+    "WriteAmplificationReport",
+    "analyze_update_sizes",
+    "estimate_longevity",
+    "write_amplification",
+]

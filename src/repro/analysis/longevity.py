@@ -1,0 +1,66 @@
+"""Flash longevity from erase counts (the "doubling the lifetime" claim).
+
+NAND endurance is specified in block program/erase cycles.  For a fixed
+amount of useful work (committed transactions), the configuration that
+erases less often wears the device proportionally slower — so lifetime
+ratios are erase-rate ratios.  The paper: "the reduction of GC overhead
+results in doubling the longevity of Flash SSD."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import ExperimentResult
+
+#: Typical endurance of the MLC generation on the OpenSSD board.
+MLC_ENDURANCE_CYCLES = 3000
+#: pSLC (LSB-only) roughly an order of magnitude higher.
+PSLC_ENDURANCE_CYCLES = 30000
+
+
+@dataclass
+class LongevityEstimate:
+    """Wear rate and relative lifetime of one configuration."""
+
+    erases_per_txn: float
+    endurance_cycles: int
+    #: Transactions until the average block hits its endurance limit,
+    #: normalized per block (bigger is better).
+    txns_per_block_lifetime: float
+
+
+def estimate_longevity(
+    result: ExperimentResult,
+    endurance_cycles: int = MLC_ENDURANCE_CYCLES,
+) -> LongevityEstimate:
+    """Wear estimate for one run (erases assumed wear-levelled)."""
+    if result.transactions <= 0:
+        raise ValueError("run committed no transactions")
+    erases_per_txn = result.gc_erases / result.transactions
+    txns = (
+        endurance_cycles / erases_per_txn if erases_per_txn > 0 else float("inf")
+    )
+    return LongevityEstimate(
+        erases_per_txn=erases_per_txn,
+        endurance_cycles=endurance_cycles,
+        txns_per_block_lifetime=txns,
+    )
+
+
+def lifetime_ratio(
+    ipa: ExperimentResult,
+    baseline: ExperimentResult,
+    ipa_endurance: int = MLC_ENDURANCE_CYCLES,
+    baseline_endurance: int = MLC_ENDURANCE_CYCLES,
+) -> float:
+    """How many times longer the IPA configuration's device lives.
+
+    Equal work basis: transactions per erase, scaled by per-mode
+    endurance (pSLC cells additionally tolerate far more cycles).
+    """
+    ipa_est = estimate_longevity(ipa, ipa_endurance)
+    base_est = estimate_longevity(baseline, baseline_endurance)
+    if base_est.txns_per_block_lifetime == float("inf"):
+        return 1.0
+    return ipa_est.txns_per_block_lifetime / base_est.txns_per_block_lifetime

@@ -1,0 +1,13 @@
+"""Comparison baselines.
+
+* The **traditional** approach (whole-page out-of-place writes) is
+  :class:`repro.storage.manager.TraditionalPolicy` over a conventional
+  :class:`repro.ftl.page_mapping.PageMappingFtl` — the [0x0] column.
+* **In-Page Logging** (Lee & Moon, SIGMOD 2007) — the paper's closest
+  competitor — is reimplemented here: :class:`repro.baselines.ipl.IplStore`
+  plus :class:`repro.baselines.ipl.IplPolicy`.
+"""
+
+from repro.baselines.ipl import IplConfig, IplPolicy, IplStore
+
+__all__ = ["IplConfig", "IplPolicy", "IplStore"]

@@ -1,0 +1,21 @@
+"""Benchmark harness: experiment configs, the runner, and reports.
+
+Every table and figure of the paper maps to one module here (see the
+experiment index in DESIGN.md); ``benchmarks/`` wraps them for
+pytest-benchmark, and each module doubles as a CLI::
+
+    python -m repro.bench.table1
+    python -m repro.bench.fig1
+    ...
+"""
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.report import render_comparison, render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "render_comparison",
+    "render_table",
+    "run_experiment",
+]

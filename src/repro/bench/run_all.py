@@ -1,0 +1,236 @@
+"""Run every experiment and emit the EXPERIMENTS.md comparison report.
+
+Usage::
+
+    python -m repro.bench.run_all            # full settings (~3-5 min)
+    python -m repro.bench.run_all --fast     # CI-scale settings (~1 min)
+    python -m repro.bench.run_all --out EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+from contextlib import redirect_stdout
+
+from repro.bench import (
+    ablations,
+    claims,
+    fig1,
+    fig2_ispp,
+    fig3_layout,
+    ipa_vs_ipl,
+    ipl_sweep,
+    mlc_modes,
+    table1,
+    tail_latency,
+    update_size_analysis,
+    ycsb_mixes,
+)
+from repro.bench.table1 import Table1Settings
+
+
+def _capture(fn) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        fn()
+    return buffer.getvalue().rstrip()
+
+
+def generate(fast: bool = False) -> str:
+    """Run everything; return the EXPERIMENTS.md body."""
+    txns = 2500 if fast else 6000
+    sections: list[tuple[str, str, str]] = []
+
+    # E1 — Table 1.
+    settings = Table1Settings(duration_s=4.0 if fast else 12.0)
+    results = table1.run(settings)
+    sections.append(
+        (
+            "E1 — Table 1 (TPC-B: [0x0] vs [2x4] pSLC vs [2x4] odd-MLC)",
+            table1.report(results),
+            "Paper: TPS 260 / 380 (+46%) / 313 (+20%); host reads +47%/+29%; "
+            "host writes +50%/+17%; migrations/write -83%/-55%; "
+            "erases/write -69%/-59%.",
+        )
+    )
+
+    # E2 — Figure 1.
+    sections.append(
+        (
+            "E2 — Figure 1 (write-amplification of one small update)",
+            fig1.report(fig1.run()),
+            "Paper: 10-byte update -> whole 8 KB page + 1-15 invalidations "
+            "traditionally; ~100-byte delta-record and no invalidation "
+            "with IPA.",
+        )
+    )
+
+    # E3 — Figure 2.
+    sections.append(
+        (
+            "E3 — Figure 2 (ISPP and the in-place programming rule)",
+            fig2_ispp.report(fig2_ispp.run()),
+            "Paper: ISPP raises charge in incremental loops; charge can only "
+            "increase without an erase.",
+        )
+    )
+
+    # E4 — Figure 3.
+    sections.append(
+        (
+            "E4 — Figure 3 (page format and delta-area sizing)",
+            fig3_layout.report(fig3_layout.run()),
+            "Paper: delta-record area = N x (1 + 3M + delta_metadata); "
+            "[2x4] is the evaluated configuration.",
+        )
+    )
+
+    # E5 — headline claims.
+    sections.append(
+        (
+            "E5 — headline claims (abstract)",
+            claims.report(claims.run(transactions=txns, fast=fast)),
+            "Paper: -67% invalidations, -80% GC overhead, +45% throughput, "
+            "2x longevity (update-intensive workloads; TPC-B is the anchor).",
+        )
+    )
+
+    # E6 — IPA vs IPL.
+    sections.append(
+        (
+            "E6 — IPA vs In-Page Logging",
+            ipa_vs_ipl.report(ipa_vs_ipl.run(transactions=txns, fast=fast)),
+            "Paper: IPA writes -23..-62%, erases -29..-74% vs IPL; IPL "
+            "roughly doubles the read load.",
+        )
+    )
+
+    # E7 — update sizes.
+    sections.append(
+        (
+            "E7 — update-size distribution (Section 1)",
+            update_size_analysis.report(
+                update_size_analysis.run(transactions=txns, fast=fast)
+            ),
+            "Paper: >70% of evicted dirty 8 KB pages modify <100 bytes; "
+            "DBMS write-amplification ~80x.",
+        )
+    )
+
+    # E8 — MLC modes.
+    sections.append(
+        (
+            "E8 — MLC modes and program interference (Section 3)",
+            mlc_modes.report(mlc_modes.run()),
+            "Paper: IPA safe on SLC/pSLC/odd-MLC; full-MLC appends risk "
+            "program interference beyond ECC.",
+        )
+    )
+
+    # A1-A3 — ablations.
+    ablation_txns = 1500 if fast else 3000
+    sections.append(
+        (
+            "A1 — N x M sweep",
+            ablations.report(
+                ablations.sweep_nxm(transactions=ablation_txns),
+                "N x M sweep (TPC-B, pSLC)",
+            ),
+            "Design ablation: delta-area budget vs in-place share.",
+        )
+    )
+    sections.append(
+        (
+            "A2 — buffer-pool sweep",
+            ablations.report(
+                ablations.sweep_buffer(transactions=ablation_txns),
+                "Buffer sweep (TPC-B, [2x4] pSLC)",
+            ),
+            "Design ablation: residency length vs conformance.",
+        )
+    )
+    sections.append(
+        (
+            "A3 — over-provisioning sweep",
+            ablations.report(
+                ablations.sweep_over_provisioning(transactions=ablation_txns),
+                "Over-provisioning sweep (TPC-B)",
+            ),
+            "Design ablation: GC pressure under both write paths.",
+        )
+    )
+
+    sections.append(
+        (
+            "A4 — IPL sizing sweep (trace replay)",
+            ipl_sweep.report(
+                ipl_sweep.run(transactions=1500 if fast else 3000)
+            ),
+            "The paper's trace-replay method: one TPC-B trace through IPL "
+            "at several log-region sizes; no point matches IPA's "
+            "write+read profile.",
+        )
+    )
+    sections.append(
+        (
+            "E11 (extension) — transaction tail latency",
+            tail_latency.report(
+                tail_latency.run(transactions=2000 if fast else 4000)
+            ),
+            "Beyond the paper: GC stalls live in the tail (p99/max); IPA "
+            "removes most of them.",
+        )
+    )
+    sections.append(
+        (
+            "E10 (extension) — YCSB core mixes",
+            ycsb_mixes.report(
+                ycsb_mixes.run(transactions=1200 if fast else 2500)
+            ),
+            "Beyond the paper: YCSB rewrites whole fields, so IPA needs "
+            "M >= field width ([2x12]) before it engages.",
+        )
+    )
+
+    parts = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Generated by `python -m repro.bench.run_all"
+        + (" --fast" if fast else "")
+        + "`.",
+        "",
+        "Absolute numbers cannot match the authors' OpenSSD testbed (this is "
+        "a simulator); the *shape* — who wins, by roughly what factor, where "
+        "the trade-offs sit — is the reproduction target.  Per-experiment "
+        "workload/parameter details: DESIGN.md's experiment index.",
+        "",
+    ]
+    for title, body, paper_note in sections:
+        parts.append(f"## {title}")
+        parts.append("")
+        parts.append("```text")
+        parts.append(body)
+        parts.append("```")
+        parts.append("")
+        parts.append(f"**Paper reference:** {paper_note}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="CI-scale run")
+    parser.add_argument("--out", default=None, help="write report to file")
+    args = parser.parse_args()
+    report = generate(fast=args.fast)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

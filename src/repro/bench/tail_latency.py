@@ -1,0 +1,87 @@
+"""Extension experiment E11 — transaction tail latency.
+
+The paper reports throughput, but GC's most painful symptom in practice
+is the *tail*: a transaction that trips garbage collection pays for
+page migrations and a multi-millisecond erase inline.  IPA removes most
+GC events, so its benefit concentrates exactly where SLAs hurt.
+
+Same TPC-B setup as Table 1; reports p50/p95/p99/max simulated latency
+per transaction for the traditional baseline and IPA pSLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.report import render_table
+from repro.core.config import SCHEME_2X4
+from repro.flash.modes import FlashMode
+from repro.workloads.tpcb import TpcbWorkload
+
+
+@dataclass
+class LatencyRow:
+    """One configuration's latency profile."""
+
+    label: str
+    result: ExperimentResult
+
+
+def run(transactions: int = 4000) -> list[LatencyRow]:
+    """Run the baseline/IPA pair and collect latency percentiles."""
+
+    def workload():
+        return TpcbWorkload(
+            scale=1, accounts_per_branch=8000, history_pages=400
+        )
+
+    rows = []
+    for architecture, mode, scheme, label in (
+        ("traditional", FlashMode.MLC, None, "[0x0] traditional"),
+        ("ipa-native", FlashMode.PSLC, SCHEME_2X4, "[2x4] IPA pSLC"),
+    ):
+        from repro.core.config import IPA_DISABLED
+
+        result = run_experiment(
+            ExperimentConfig(
+                workload=workload(),
+                architecture=architecture,
+                mode=mode,
+                scheme=scheme if scheme else IPA_DISABLED,
+                transactions=transactions,
+                buffer_pages=24,
+                label=label,
+            )
+        )
+        rows.append(LatencyRow(label=label, result=result))
+    return rows
+
+
+def report(rows: list[LatencyRow]) -> str:
+    return render_table(
+        ["Config", "p50 (us)", "p95 (us)", "p99 (us)", "max (us)", "TPS"],
+        [
+            [
+                r.label,
+                f"{r.result.latency_p50_us:.0f}",
+                f"{r.result.latency_p95_us:.0f}",
+                f"{r.result.latency_p99_us:.0f}",
+                f"{r.result.latency_max_us:.0f}",
+                f"{r.result.tps:.0f}",
+            ]
+            for r in rows
+        ],
+        title=(
+            "E11 (extension) — TPC-B transaction latency: GC stalls live "
+            "in the tail; IPA removes most of them"
+        ),
+    )
+
+
+def main() -> None:
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""The paper's contribution: In-Place Appends (IPA).
+
+The pieces map one-to-one onto Section 3 of the paper:
+
+* :mod:`repro.core.config` — the **N x M scheme**: how much space a page
+  reserves for delta-records (``N x (1 + 3M + delta_metadata)``).
+* :mod:`repro.core.delta` — the delta-record wire format: a control
+  byte, up to M ``<new_value, offset>`` pairs, and the modified page
+  metadata (header + footer).
+* :mod:`repro.core.tracker` — byte-granular update tracking in the
+  buffer pool, the N x M conformance check and the out-of-place flag.
+* :mod:`repro.core.reconstruct` — applying delta-records on fetch to
+  rebuild the up-to-date page image.
+"""
+
+from repro.core.config import IPA_DISABLED, IpaScheme
+from repro.core.delta import DeltaRecord
+from repro.core.tracker import ChangeTracker
+
+__all__ = ["DeltaRecord", "ChangeTracker", "IpaScheme", "IPA_DISABLED"]

@@ -1,0 +1,78 @@
+"""Page reconstruction on fetch (paper Section 3, "Page operations").
+
+    "Before the page is placed into the buffer frame upon being fetched,
+    the storage manager checks if it contains delta-records.  If so,
+    those are applied by changing the original bytes at defined offsets
+    to their updated values from the delta-records.  Now the page body is
+    in its up-to-date state.  Similarly, the page metadata is updated to
+    its actual version from delta_metadata in the delta-record."
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    PAGE_FOOTER_SIZE,
+    PAGE_HEADER_SIZE,
+    IpaScheme,
+)
+from repro.core.delta import DeltaFormatError, DeltaRecord, decode_delta_area
+
+
+class ReconstructionError(Exception):
+    """A delta-record targets bytes outside the page body."""
+
+
+def reconstruct(image: bytes, scheme: IpaScheme) -> tuple[bytearray, int]:
+    """Apply a page image's delta-records; return (up-to-date page, count).
+
+    The returned buffer has the *delta area reset to erased*: the buffer
+    pool always holds the logical page, and the on-flash delta records it
+    was reconstructed from are remembered only as the count (they still
+    occupy flash slots and count against N).
+
+    Raises:
+        ReconstructionError: a record's pair offset lies in the header,
+            the delta area or the footer — corruption, since pairs may
+            only target body bytes.
+        DeltaFormatError: the delta area bytes do not parse.
+    """
+    page = bytearray(image)
+    if not scheme.enabled:
+        return page, 0
+    page_size = len(image)
+    footer_start = page_size - PAGE_FOOTER_SIZE
+    delta_start = footer_start - scheme.delta_area_size
+    records = decode_delta_area(image[delta_start:footer_start], scheme)
+    for index, record in enumerate(records):
+        _apply(page, record, index, delta_start)
+    # Scrub the delta area: the in-buffer page is the logical page.
+    for i in range(delta_start, footer_start):
+        page[i] = 0xFF
+    return page, len(records)
+
+
+def _apply(
+    page: bytearray, record: DeltaRecord, index: int, delta_start: int
+) -> None:
+    for offset, value in record.pairs:
+        if offset < PAGE_HEADER_SIZE or offset >= delta_start:
+            raise ReconstructionError(
+                f"delta-record {index} pair targets offset {offset}, "
+                f"outside the body [{PAGE_HEADER_SIZE}, {delta_start})"
+            )
+        page[offset] = value
+    page[0:PAGE_HEADER_SIZE] = record.meta_header
+    page[len(page) - PAGE_FOOTER_SIZE :] = record.meta_footer
+
+
+def count_records(image: bytes, scheme: IpaScheme) -> int:
+    """How many delta-records a raw page image carries (no application)."""
+    if not scheme.enabled:
+        return 0
+    page_size = len(image)
+    footer_start = page_size - PAGE_FOOTER_SIZE
+    delta_start = footer_start - scheme.delta_area_size
+    try:
+        return len(decode_delta_area(image[delta_start:footer_start], scheme))
+    except DeltaFormatError:
+        raise

@@ -1,0 +1,209 @@
+"""Tables and the database facade."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.engine.index import HashIndex
+from repro.engine.schema import Schema
+from repro.engine.transaction import Transaction, TransactionStats
+from repro.storage.heap import HeapFile, RID
+from repro.storage.manager import StorageManager
+
+
+class Table:
+    """A schema-typed heap file with an optional primary-key index.
+
+    Not constructed directly — use :meth:`Database.create_table`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        heap: HeapFile,
+        pk_columns: tuple[str, ...] | None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.heap = heap
+        self.pk_columns = pk_columns
+        self.pk_index: HashIndex | None = (
+            HashIndex(f"{name}.pk") if pk_columns else None
+        )
+        #: column name -> SecondaryIndex, maintained on every DML.
+        self.secondary: dict[str, "SecondaryIndex"] = {}  # noqa: F821
+
+    def _pk_of(self, values: Mapping[str, Any]) -> Any:
+        assert self.pk_columns is not None
+        if len(self.pk_columns) == 1:
+            return values[self.pk_columns[0]]
+        return tuple(values[c] for c in self.pk_columns)
+
+    # ------------------------------------------------------------------ #
+    # DML
+    # ------------------------------------------------------------------ #
+
+    def create_secondary_index(self, column: str, n_pages: int = 64) -> "SecondaryIndex":  # noqa: F821
+        """Build a paged B+-tree index over an integer column.
+
+        Existing rows are back-filled; subsequent DML maintains it.
+        """
+        from repro.engine.secondary import SecondaryIndex
+
+        if column in self.secondary:
+            raise ValueError(f"index on {self.name}.{column} already exists")
+        self.schema.column(column)  # validates the column exists
+        backfill = [
+            (self.schema.decode(record)[column], rid)
+            for rid, record in self.heap.scan()
+        ]
+        index = SecondaryIndex(
+            self.heap.manager, column, n_pages, backfill=backfill
+        )
+        self.secondary[column] = index
+        return index
+
+    def insert(self, values: Mapping[str, Any]) -> RID:
+        """Insert one row; maintains the primary-key + secondary indexes."""
+        rid = self.heap.insert(self.schema.encode(values))
+        if self.pk_index is not None:
+            self.pk_index.insert(self._pk_of(values), rid)
+        for column, index in self.secondary.items():
+            index.insert(values[column], rid)
+        return rid
+
+    def get(self, pk: Any) -> dict[str, Any]:
+        """Point lookup by primary key."""
+        if self.pk_index is None:
+            raise RuntimeError(f"table {self.name} has no primary key")
+        rid = self.pk_index.get(pk)
+        return self.schema.decode(self.heap.read(rid))
+
+    def rid_of(self, pk: Any) -> RID:
+        """RID of a primary key."""
+        if self.pk_index is None:
+            raise RuntimeError(f"table {self.name} has no primary key")
+        return self.pk_index.get(pk)
+
+    def read_row(self, rid: RID) -> dict[str, Any]:
+        """Decode the row at an RID."""
+        return self.schema.decode(self.heap.read(rid))
+
+    def update_field(self, pk: Any, column: str, value: Any) -> None:
+        """In-place single-column update — the paper's "small update"."""
+        rid = self.rid_of(pk)
+        if column in self.secondary:
+            old = self.schema.decode(self.heap.read(rid))[column]
+            if old != value:
+                self.secondary[column].delete(old, rid)
+                self.secondary[column].insert(value, rid)
+        offset, data = self.schema.encode_field(column, value)
+        self.heap.update(rid, offset, data)
+
+    def update_fields(self, pk: Any, values: Mapping[str, Any]) -> None:
+        """Update several columns of one row as ONE update operation.
+
+        The tuple-level grouping matters for IPA: the whole multi-column
+        update becomes a single delta-record whose changed bytes pool
+        against M (paper: one delta-record holds up to M changed bytes).
+        """
+        rid = self.rid_of(pk)
+        indexed = [c for c in values if c in self.secondary]
+        if indexed:
+            old_row = self.schema.decode(self.heap.read(rid))
+            for column in indexed:
+                if old_row[column] != values[column]:
+                    self.secondary[column].delete(old_row[column], rid)
+                    self.secondary[column].insert(values[column], rid)
+        writes = [
+            self.schema.encode_field(column, value)
+            for column, value in values.items()
+        ]
+        self.heap.update_multi(rid, writes)
+
+    def delete(self, pk: Any) -> None:
+        """Delete a row by primary key (all indexes maintained)."""
+        rid = self.rid_of(pk)
+        if self.secondary:
+            row = self.schema.decode(self.heap.read(rid))
+            for column, index in self.secondary.items():
+                index.delete(row[column], rid)
+        self.heap.delete(rid)
+        assert self.pk_index is not None
+        self.pk_index.delete(pk)
+
+    def find_by(self, column: str, value: int) -> list:
+        """Rows whose indexed ``column`` equals ``value``."""
+        index = self.secondary[column]
+        return [self.read_row(rid) for rid in index.lookup(value)]
+
+    def find_range(self, column: str, low: int, high: int) -> list:
+        """Rows whose indexed ``column`` is within [low, high]."""
+        index = self.secondary[column]
+        return [
+            self.read_row(rid) for _value, rid in index.range(low, high)
+        ]
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Full-table scan."""
+        for _rid, record in self.heap.scan():
+            yield self.schema.decode(record)
+
+    def __len__(self) -> int:
+        return self.heap.record_count
+
+
+class Database:
+    """Facade: table catalog + transaction bracketing over one manager."""
+
+    def __init__(self, manager: StorageManager) -> None:
+        self.manager = manager
+        self.tables: dict[str, Table] = {}
+        self.txn_stats = TransactionStats()
+        self._next_file_id = 1
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        n_pages: int,
+        pk: tuple[str, ...] | str | None = None,
+    ) -> Table:
+        """Create a table backed by a fresh LBA range.
+
+        Args:
+            name: Table name (unique).
+            schema: Record schema.
+            n_pages: Pages reserved for the table's heap file.
+            pk: Primary-key column(s), if any.
+        """
+        if name in self.tables:
+            raise ValueError(f"table {name} already exists")
+        base, _end = self.manager.allocate_lba_range(n_pages)
+        heap = HeapFile(self.manager, self._next_file_id, base, n_pages)
+        self._next_file_id += 1
+        pk_columns: tuple[str, ...] | None
+        if pk is None:
+            pk_columns = None
+        elif isinstance(pk, str):
+            pk_columns = (pk,)
+        else:
+            pk_columns = tuple(pk)
+        table = Table(name, schema, heap, pk_columns)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        return self.tables[name]
+
+    def begin(self, txn_type: str = "txn") -> Transaction:
+        """Start a transaction: ``with db.begin("payment"): ...``."""
+        return Transaction(self, txn_type)
+
+    def checkpoint(self) -> None:
+        """Flush every dirty buffer page; truncate the WAL if present."""
+        self.manager.flush_all()
+        if self.manager.wal is not None:
+            self.manager.wal.truncate()

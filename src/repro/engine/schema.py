@@ -1,0 +1,124 @@
+"""Typed, fixed-size record schemas.
+
+Fixed-size records keep every column at a fixed page offset, so a field
+update touches exactly the column's bytes — the "small in-place updates"
+whose delta-record transformation is the paper's subject.  (An INT64
+balance update changes at most 8 bytes; with typical value locality it
+changes 1-3, which is why the [2x4] scheme of Table 1 suffices.)
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+
+class ColumnType(enum.Enum):
+    """Supported column types (all fixed-width)."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    CHAR = "char"  # fixed-width, space-padded
+
+
+_STRUCT = {
+    ColumnType.INT32: struct.Struct("<i"),
+    ColumnType.INT64: struct.Struct("<q"),
+    ColumnType.FLOAT64: struct.Struct("<d"),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, type, and width for CHAR columns."""
+
+    name: str
+    type: ColumnType
+    size: int = 0  # CHAR width; ignored otherwise
+
+    def __post_init__(self) -> None:
+        if self.type is ColumnType.CHAR:
+            if self.size < 1:
+                raise ValueError(f"CHAR column '{self.name}' needs size >= 1")
+        elif self.size not in (0, self.width):
+            raise ValueError(f"size is only meaningful for CHAR ('{self.name}')")
+
+    @property
+    def width(self) -> int:
+        """Bytes this column occupies in the record."""
+        if self.type is ColumnType.CHAR:
+            return self.size
+        return _STRUCT[self.type].size
+
+    def encode(self, value: Any) -> bytes:
+        """Serialize one value to the column's fixed width."""
+        if self.type is ColumnType.CHAR:
+            raw = value.encode("ascii") if isinstance(value, str) else bytes(value)
+            if len(raw) > self.size:
+                raise ValueError(
+                    f"value of {len(raw)} bytes exceeds CHAR({self.size}) "
+                    f"column '{self.name}'"
+                )
+            return raw.ljust(self.size, b" ")
+        return _STRUCT[self.type].pack(value)
+
+    def decode(self, raw: bytes) -> Any:
+        """Deserialize the column's bytes."""
+        if self.type is ColumnType.CHAR:
+            return raw.rstrip(b" ").decode("ascii")
+        return _STRUCT[self.type].unpack(raw)[0]
+
+
+class Schema:
+    """An ordered set of columns with precomputed offsets."""
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self.columns = list(columns)
+        if not self.columns:
+            raise ValueError("schema needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {names}")
+        self._offsets: dict[str, tuple[int, Column]] = {}
+        offset = 0
+        for column in self.columns:
+            self._offsets[column.name] = (offset, column)
+            offset += column.width
+        self.record_size = offset
+
+    def field_span(self, name: str) -> tuple[int, int]:
+        """(offset, width) of a column within the record."""
+        offset, column = self._offsets[name]
+        return offset, column.width
+
+    def column(self, name: str) -> Column:
+        """Column object by name."""
+        return self._offsets[name][1]
+
+    def encode(self, values: Mapping[str, Any]) -> bytes:
+        """Serialize a full record from a column-name mapping."""
+        missing = [c.name for c in self.columns if c.name not in values]
+        if missing:
+            raise ValueError(f"missing columns: {missing}")
+        return b"".join(c.encode(values[c.name]) for c in self.columns)
+
+    def decode(self, record: bytes) -> dict[str, Any]:
+        """Deserialize a full record."""
+        if len(record) != self.record_size:
+            raise ValueError(
+                f"record of {len(record)} bytes, schema needs {self.record_size}"
+            )
+        out: dict[str, Any] = {}
+        offset = 0
+        for column in self.columns:
+            out[column.name] = column.decode(record[offset : offset + column.width])
+            offset += column.width
+        return out
+
+    def encode_field(self, name: str, value: Any) -> tuple[int, bytes]:
+        """(offset, bytes) for an in-place single-field update."""
+        offset, column = self._offsets[name]
+        return offset, column.encode(value)

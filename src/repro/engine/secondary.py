@@ -1,0 +1,132 @@
+"""Secondary indexes: paged B+-trees maintained by the table layer.
+
+A secondary index maps a *non-unique* INT32/INT64 column to RIDs.  The
+underlying :class:`~repro.storage.btree.BPlusTree` needs unique keys, so
+each entry's key is the column value in the high bits plus a sequence
+number in the low bits::
+
+    key = (value + 2^31) << 31 | seq          # value in [-2^31, 2^31)
+
+which preserves value ordering, so range queries map to key ranges.
+The indexed column must fit a signed 32-bit integer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.storage.btree import BPlusTree
+from repro.storage.heap import RID
+from repro.storage.manager import StorageManager
+
+_VALUE_BIAS = 1 << 31
+_SEQ_BITS = 31
+_SEQ_MASK = (1 << _SEQ_BITS) - 1
+_VALUE_MIN = -(1 << 31)
+_VALUE_MAX = (1 << 31) - 1
+
+
+class SecondaryIndex:
+    """A non-unique column index backed by a paged B+-tree.
+
+    Args:
+        manager: Storage manager providing the index pages.
+        column: The indexed column name (must be INT32/INT64-valued and
+            within 32-bit range).
+        n_pages: Page budget for the tree file.
+    """
+
+    def __init__(
+        self,
+        manager: StorageManager,
+        column: str,
+        n_pages: int,
+        backfill: list | None = None,
+    ) -> None:
+        """
+        Args:
+            backfill: Optional existing ``(value, rid)`` pairs; they are
+                sorted and bulk-loaded (every index page written once)
+                instead of inserted one by one.
+        """
+        self.column = column
+        base, _end = manager.allocate_lba_range(n_pages)
+        self._next_seq = 0
+        if backfill:
+            items = []
+            for value, rid in backfill:
+                self._check_value(value)
+                items.append(
+                    (self._make_key(value, self._next_seq), self._encode_rid(rid))
+                )
+                self._next_seq = (self._next_seq + 1) & _SEQ_MASK
+            items.sort(key=lambda kv: kv[0])
+            self._tree = BPlusTree.bulk_load(
+                manager, base, n_pages, value_size=8, items=items
+            )
+        else:
+            self._tree = BPlusTree(manager, base, n_pages, value_size=8)
+
+    @staticmethod
+    def _check_value(value: int) -> None:
+        if not _VALUE_MIN <= value <= _VALUE_MAX:
+            raise ValueError(
+                f"secondary-index values must fit int32, got {value}"
+            )
+
+    def _make_key(self, value: int, seq: int) -> int:
+        return ((value + _VALUE_BIAS) << _SEQ_BITS) | seq
+
+    @staticmethod
+    def _encode_rid(rid: RID) -> bytes:
+        return rid.lba.to_bytes(4, "little") + rid.slot.to_bytes(2, "little") + b"\x00\x00"
+
+    @staticmethod
+    def _decode_rid(raw: bytes) -> RID:
+        return RID(
+            int.from_bytes(raw[0:4], "little"),
+            int.from_bytes(raw[4:6], "little"),
+        )
+
+    def insert(self, value: int, rid: RID) -> None:
+        """Register one (value, rid) pair."""
+        self._check_value(value)
+        self._tree.insert(
+            self._make_key(value, self._next_seq), self._encode_rid(rid)
+        )
+        self._next_seq = (self._next_seq + 1) & _SEQ_MASK
+
+    def delete(self, value: int, rid: RID) -> None:
+        """Remove the entry for (value, rid).
+
+        Raises:
+            KeyError: if no such entry exists.
+        """
+        self._check_value(value)
+        low = self._make_key(value, 0)
+        high = self._make_key(value, _SEQ_MASK)
+        for key, raw in self._tree.range(low, high):
+            if self._decode_rid(raw) == rid:
+                self._tree.delete(key)
+                return
+        raise KeyError(f"no index entry for {self.column}={value} at {rid}")
+
+    def lookup(self, value: int) -> list:
+        """All RIDs stored under exactly ``value``."""
+        self._check_value(value)
+        low = self._make_key(value, 0)
+        high = self._make_key(value, _SEQ_MASK)
+        return [self._decode_rid(raw) for _key, raw in self._tree.range(low, high)]
+
+    def range(self, low_value: int, high_value: int) -> Iterator[tuple[int, RID]]:
+        """(value, rid) pairs with low <= value <= high, value-ordered."""
+        self._check_value(low_value)
+        self._check_value(high_value)
+        low = self._make_key(low_value, 0)
+        high = self._make_key(high_value, _SEQ_MASK)
+        for key, raw in self._tree.range(low, high):
+            value = (key >> _SEQ_BITS) - _VALUE_BIAS
+            yield value, self._decode_rid(raw)
+
+    def __len__(self) -> int:
+        return len(self._tree)

@@ -1,0 +1,52 @@
+"""Transactions: commit bracketing and per-transaction accounting.
+
+The paper states that "the regular database functionality (e.g.
+recovery, locking, etc.) is NOT impacted by the proposed approach", so
+the transaction layer here is intentionally thin: it brackets work,
+charges the host CPU cost, and counts committed transactions for the
+throughput metric.  There is no rollback — workloads are generated
+conflict-free and single-threaded, as in a trace-driven evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TransactionStats:
+    """Per-run transaction counters."""
+
+    committed: int = 0
+    by_type: dict = field(default_factory=dict)
+
+
+class Transaction:
+    """One transaction: ``with db.begin("payment"): ...``."""
+
+    def __init__(self, db: "Database", txn_type: str) -> None:  # noqa: F821
+        self._db = db
+        self.txn_type = txn_type
+        self.committed = False
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self.committed:
+            self.commit()
+
+    def commit(self) -> None:
+        """Commit: force the WAL (if any), charge host cost, count."""
+        if self.committed:
+            raise RuntimeError("transaction already committed")
+        self.committed = True
+        db = self._db
+        if db.manager.wal is not None:
+            db.manager.wal.commit()
+        db.manager.clock.advance(
+            db.manager.host_costs.per_transaction_us, "host"
+        )
+        db.txn_stats.committed += 1
+        by_type = db.txn_stats.by_type
+        by_type[self.txn_type] = by_type.get(self.txn_type, 0) + 1

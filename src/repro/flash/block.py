@@ -1,0 +1,54 @@
+"""One erase unit: a vector of pages plus wear bookkeeping."""
+
+from __future__ import annotations
+
+from repro.flash.ecc import EccConfig
+from repro.flash.errors import BadBlockError
+from repro.flash.page import PhysicalPage
+
+
+class EraseBlock:
+    """A NAND erase block: the granularity of the erase operation.
+
+    Wear accounting lives here because endurance is specified in block
+    program/erase cycles; the longevity analysis (doubling-the-lifetime
+    claim) reads ``erase_count`` off every block.
+    """
+
+    __slots__ = ("pages", "erase_count", "endurance_limit", "is_bad")
+
+    def __init__(
+        self,
+        pages_per_block: int,
+        page_size: int,
+        oob_size: int,
+        ecc: EccConfig,
+        endurance_limit: int | None = None,
+    ) -> None:
+        self.pages = [
+            PhysicalPage(page_size, oob_size, ecc) for _ in range(pages_per_block)
+        ]
+        self.erase_count = 0
+        #: P/E cycles before the block is retired; ``None`` disables the
+        #: check (experiments measure longevity analytically instead of
+        #: running chips to death).
+        self.endurance_limit = endurance_limit
+        self.is_bad = False
+
+    def erase(self) -> None:
+        """Erase every page and advance the wear counter.
+
+        Raises:
+            BadBlockError: if the block was already retired, or this erase
+                pushes it past its endurance limit.
+        """
+        if self.is_bad:
+            raise BadBlockError("erase of retired block")
+        self.erase_count += 1
+        if self.endurance_limit is not None and self.erase_count > self.endurance_limit:
+            self.is_bad = True
+            raise BadBlockError(
+                f"block exceeded endurance of {self.endurance_limit} P/E cycles"
+            )
+        for page in self.pages:
+            page.erase()

@@ -1,0 +1,125 @@
+"""Vectorized bit-transition rules: which overwrites need no erase.
+
+:mod:`repro.flash.ispp` establishes the physics at single-cell resolution;
+this module applies the same rule to whole pages fast enough to run OLTP
+workloads over the simulator.
+
+SLC: one bit per cell, erased = 1, programmed = 0.  A page image ``new``
+may be programmed over ``old`` without an erase iff no bit goes 0 -> 1,
+i.e. ``new & old == new``.
+
+MLC: two bits per cell from a Gray code over four charge levels.  Each
+wordline stores an LSB page and an MSB page; a transition is legal iff no
+cell's charge *level* decreases.  The bulk data path only ever reprograms
+LSB pages (pSLC / odd-MLC modes), where the SLC rule applies bit-for-bit;
+the full MLC level arithmetic here backs the mode rules and the E8
+experiment that shows *why* full-MLC in-place appends are unsafe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Gray code used by the MLC model: (lsb_bit, msb_bit) -> charge level.
+#: Erased cells read 11; LSB-only programming reaches level 1 ("10");
+#: the MSB pass then splits levels further.  This specific assignment is
+#: the common LSB-first Gray mapping from Aritome [3].
+GRAY_TO_LEVEL: dict[tuple[int, int], int] = {
+    (1, 1): 0,  # erased
+    (0, 1): 1,  # LSB programmed
+    (0, 0): 2,
+    (1, 0): 3,
+}
+LEVEL_TO_GRAY: dict[int, tuple[int, int]] = {v: k for k, v in GRAY_TO_LEVEL.items()}
+
+ERASED_BYTE = 0xFF
+
+
+def as_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """View a byte buffer as a flat numpy array of bits (MSB first)."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr)
+
+
+def slc_transition_legal(
+    old: bytes | bytearray | np.ndarray,
+    new: bytes | bytearray | np.ndarray,
+) -> bool:
+    """True iff ``new`` can be programmed over ``old`` without an erase.
+
+    Every bit transition must be 1 -> 0 or unchanged (charge can only be
+    added): equivalently ``new AND old == new`` byte-wise.
+    """
+    a = np.frombuffer(bytes(old), dtype=np.uint8)
+    b = np.frombuffer(bytes(new), dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"length mismatch: old={a.size} new={b.size}")
+    return bool(np.array_equal(b & a, b))
+
+
+def first_illegal_offset(
+    old: bytes | bytearray | np.ndarray,
+    new: bytes | bytearray | np.ndarray,
+) -> int:
+    """Byte offset of the first 0 -> 1 transition, or -1 if none.
+
+    Used to build actionable :class:`~repro.flash.errors.IllegalProgramError`
+    messages.
+    """
+    a = np.frombuffer(bytes(old), dtype=np.uint8)
+    b = np.frombuffer(bytes(new), dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"length mismatch: old={a.size} new={b.size}")
+    bad = (b & a) != b
+    idx = np.flatnonzero(bad)
+    return int(idx[0]) if idx.size else -1
+
+
+def changed_byte_count(
+    old: bytes | bytearray,
+    new: bytes | bytearray,
+) -> int:
+    """Number of byte positions that differ between two page images."""
+    a = np.frombuffer(bytes(old), dtype=np.uint8)
+    b = np.frombuffer(bytes(new), dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"length mismatch: old={a.size} new={b.size}")
+    return int(np.count_nonzero(a != b))
+
+
+def mlc_levels(lsb: bytes | bytearray, msb: bytes | bytearray) -> np.ndarray:
+    """Charge level of every cell of a wordline from its two page images.
+
+    Args:
+        lsb: Image of the LSB page.
+        msb: Image of the MSB page (same length).
+
+    Returns:
+        Array of per-cell levels in ``{0, 1, 2, 3}``, one per bit position.
+    """
+    lsb_bits = as_bits(lsb)
+    msb_bits = as_bits(msb)
+    if lsb_bits.shape != msb_bits.shape:
+        raise ValueError("LSB and MSB pages must be the same size")
+    levels = np.empty(lsb_bits.shape, dtype=np.int8)
+    for (lb, mb), level in GRAY_TO_LEVEL.items():
+        levels[(lsb_bits == lb) & (msb_bits == mb)] = level
+    return levels
+
+
+def mlc_transition_legal(
+    old_lsb: bytes,
+    old_msb: bytes,
+    new_lsb: bytes,
+    new_msb: bytes,
+) -> bool:
+    """True iff the wordline transition never lowers any cell's level."""
+    old_levels = mlc_levels(old_lsb, old_msb)
+    new_levels = mlc_levels(new_lsb, new_msb)
+    return bool(np.all(new_levels >= old_levels))
+
+
+def is_erased(data: bytes | bytearray) -> bool:
+    """True iff every byte of the buffer is in the erased state (0xFF)."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return bool(np.all(arr == ERASED_BYTE))

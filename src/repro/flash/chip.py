@@ -1,0 +1,312 @@
+"""The simulated NAND chip: the hardware the whole reproduction runs on.
+
+:class:`FlashChip` exposes the operation set of the OpenSSD firmware
+environment the paper programs against:
+
+* ``read_page`` / ``program_page`` / ``erase_block`` — the classic trio;
+* ``reprogram_page`` — whole-page overwrite without erase, legal only for
+  charge-increasing transitions (Demo-Scenario 2: the DBMS ships the full
+  page image ``body + delta area`` over a block-device interface and the
+  device programs it in place);
+* ``partial_program`` — program a byte range of an already-programmed
+  page, the physical half of the ``write_delta`` command (Demo-Scenario 3:
+  only the delta bytes cross the bus).
+
+Every operation advances the shared :class:`~repro.flash.latency.SimClock`
+and updates :class:`~repro.flash.stats.FlashStats`; programs and
+reprograms trigger the mode's program-interference model against
+neighbouring wordlines.
+"""
+
+from __future__ import annotations
+
+from repro.flash.block import EraseBlock
+from repro.flash.cellmodel import ERASED_BYTE
+from repro.flash.ecc import DEFAULT_ECC, EccConfig
+from repro.flash.errors import (
+    BadBlockError,
+    EccUncorrectableError,
+    IllegalProgramError,
+    ModeViolationError,
+)
+from repro.flash.geometry import FlashGeometry
+from repro.flash.interference import DisturbModel, neighbour_pages
+from repro.flash.latency import DEFAULT_LATENCY, LatencyModel, SimClock
+from repro.flash.modes import FlashMode, ModeRules, rules_for
+from repro.flash.page import PageState, PhysicalPage
+from repro.flash.stats import FlashStats
+
+
+class FlashChip:
+    """A single simulated NAND chip.
+
+    Args:
+        geometry: Physical dimensions (see :mod:`repro.flash.geometry`).
+        mode: Operating mode — SLC / MLC / pSLC / odd-MLC (Section 3).
+        latency: Per-operation latency table; shares ``clock``.
+        clock: Simulated clock; a fresh one is created if omitted.
+        ecc: ECC correction capability per codeword.
+        seed: Seed for the deterministic disturb model.
+        endurance_limit: Optional block P/E limit (``None`` = unlimited).
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        mode: FlashMode = FlashMode.SLC,
+        latency: LatencyModel = DEFAULT_LATENCY,
+        clock: SimClock | None = None,
+        ecc: EccConfig = DEFAULT_ECC,
+        seed: int = 0xF1A5,
+        endurance_limit: int | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.mode = mode
+        self.rules: ModeRules = rules_for(mode)
+        self.latency = latency
+        self.clock = clock if clock is not None else SimClock()
+        self.ecc = ecc
+        self.stats = FlashStats()
+        self._disturb = DisturbModel(self.rules, ecc, geometry.page_size, seed=seed)
+        self.blocks = [
+            EraseBlock(
+                geometry.pages_per_block,
+                geometry.page_size,
+                geometry.oob_size,
+                ecc,
+                endurance_limit=endurance_limit,
+            )
+            for _ in range(geometry.blocks)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Addressing helpers
+    # ------------------------------------------------------------------ #
+
+    def page_at(self, ppn: int) -> PhysicalPage:
+        """The :class:`PhysicalPage` object behind a physical page number."""
+        block, page = self.geometry.split_ppn(ppn)
+        return self.blocks[block].pages[page]
+
+    def page_state(self, ppn: int) -> PageState:
+        """Programming state of a page without charging read latency."""
+        return self.page_at(ppn).state
+
+    def usable_pages_in_block(self) -> list[int]:
+        """Page-in-block indexes usable under the current mode.
+
+        pSLC mode halves this list (LSB pages only); all other modes use
+        every page.
+        """
+        return [
+            p
+            for p in range(self.geometry.pages_per_block)
+            if self.rules.page_usable(p)
+        ]
+
+    @property
+    def usable_capacity_pages(self) -> int:
+        """Total pages available to store data in the current mode."""
+        return len(self.usable_pages_in_block()) * self.geometry.blocks
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+
+    def read_page(self, ppn: int, check_ecc: bool = True) -> bytes:
+        """Read a page's data area (charges read + bus latency)."""
+        data, _oob, corrected = self._read(ppn, check_ecc)
+        return data
+
+    def read_page_with_oob(
+        self, ppn: int, check_ecc: bool = True
+    ) -> tuple[bytes, bytes]:
+        """Read a page's data and OOB areas."""
+        data, oob, _corrected = self._read(ppn, check_ecc)
+        return data, oob
+
+    def _read(self, ppn: int, check_ecc: bool) -> tuple[bytes, bytes, int]:
+        page = self.page_at(ppn)
+        try:
+            data, oob, corrected = page.read(check_ecc=check_ecc)
+        except EccUncorrectableError:
+            # The sense operation happened; charge it and count the event.
+            self.clock.advance(self.latency.read_us, "read")
+            self.stats.page_reads += 1
+            self.stats.ecc_uncorrectable_events += 1
+            raise
+        nbytes = len(data) + len(oob)
+        self.clock.advance(self.latency.read_us, "read")
+        self.clock.advance(self.latency.transfer_us(nbytes), "bus")
+        self.stats.page_reads += 1
+        self.stats.bytes_read += nbytes
+        self.stats.ecc_corrected_bits += corrected
+        return data, oob, corrected
+
+    def program_page(self, ppn: int, data: bytes, oob: bytes | None = None) -> None:
+        """First-time program of an erased page.
+
+        Raises:
+            ModeViolationError: if the page is unusable in this mode
+                (MSB page in pSLC mode).
+            WriteToProgrammedPageError: if the page is already programmed.
+            BadBlockError: if the containing block was retired.
+        """
+        block_idx, page_idx = self.geometry.split_ppn(ppn)
+        self._check_block_alive(block_idx)
+        if not self.rules.page_usable(page_idx):
+            raise ModeViolationError(
+                f"page {page_idx} in block {block_idx} is not usable in "
+                f"{self.mode.value} mode"
+            )
+        page = self.page_at(ppn)
+        data = self._pad(data)
+        page.program(data, oob)
+        self._charge_program(block_idx, page_idx, data, oob, reprogram=False)
+
+    def reprogram_page(self, ppn: int, data: bytes, oob: bytes | None = None) -> None:
+        """Overwrite a programmed page in place (no erase).
+
+        The page model enforces the charge-only-increases rule; the chip
+        additionally enforces the mode's appendability rule (odd-MLC: LSB
+        pages only) and injects program interference into neighbours.
+
+        Raises:
+            ModeViolationError: if the mode forbids reprogramming this page.
+            IllegalProgramError: if any bit would have to go 0 -> 1.
+        """
+        block_idx, page_idx = self.geometry.split_ppn(ppn)
+        self._check_block_alive(block_idx)
+        if not self.rules.page_appendable(page_idx):
+            raise ModeViolationError(
+                f"page {page_idx} may not be reprogrammed in "
+                f"{self.mode.value} mode"
+            )
+        page = self.page_at(ppn)
+        data = self._pad(data)
+        page.reprogram(data, oob)
+        self._charge_program(block_idx, page_idx, data, oob, reprogram=True)
+
+    def partial_program(
+        self,
+        ppn: int,
+        offset: int,
+        payload: bytes,
+        oob_offset: int | None = None,
+        oob_payload: bytes | None = None,
+    ) -> None:
+        """Program a byte range of a page — the device half of write_delta.
+
+        Constructs the new page image (current image with ``payload`` at
+        ``offset``) and reprograms; the target range must currently be
+        erased (all 0xFF) so the transition is guaranteed legal.  Only
+        ``len(payload)`` data bytes are charged as bus transfer.
+
+        Raises:
+            IllegalProgramError: if the target range is not erased.
+        """
+        page = self.page_at(ppn)
+        if offset < 0 or offset + len(payload) > page.page_size:
+            raise ValueError(
+                f"range [{offset}, {offset + len(payload)}) exceeds page size "
+                f"{page.page_size}"
+            )
+        current = bytearray(page.raw_data())
+        target = current[offset : offset + len(payload)]
+        if any(b != ERASED_BYTE for b in target):
+            raise IllegalProgramError(
+                f"append target [{offset}, {offset + len(payload)}) is not erased",
+                first_bad_offset=offset,
+            )
+        current[offset : offset + len(payload)] = payload
+
+        new_oob: bytes | None = None
+        if oob_payload is not None:
+            if oob_offset is None:
+                raise ValueError("oob_payload requires oob_offset")
+            oob_buf = bytearray(page.raw_oob())
+            if oob_offset < 0 or oob_offset + len(oob_payload) > page.oob_size:
+                raise ValueError("OOB range out of bounds")
+            oob_buf[oob_offset : oob_offset + len(oob_payload)] = oob_payload
+            new_oob = bytes(oob_buf)
+
+        block_idx, page_idx = self.geometry.split_ppn(ppn)
+        self._check_block_alive(block_idx)
+        if not self.rules.page_appendable(page_idx):
+            raise ModeViolationError(
+                f"page {page_idx} may not be reprogrammed in "
+                f"{self.mode.value} mode"
+            )
+        page.reprogram(bytes(current), new_oob)
+        # Latency/stats: a reprogram pulse train, but only the payload
+        # crosses the bus (the whole point of write_delta).
+        transferred = len(payload) + (len(oob_payload) if oob_payload else 0)
+        self.clock.advance(self.latency.reprogram_us, "program")
+        self.clock.advance(self.latency.transfer_us(transferred), "bus")
+        self.stats.page_reprograms += 1
+        self.stats.bytes_programmed += transferred
+        self._apply_interference(block_idx, page_idx, reprogram=True)
+
+    def erase_block(self, block_idx: int) -> None:
+        """Erase one block (all pages, data and OOB)."""
+        self.geometry.check_block(block_idx)
+        self.blocks[block_idx].erase()
+        self.clock.advance(self.latency.erase_us, "erase")
+        self.stats.block_erases += 1
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _pad(self, data: bytes) -> bytes:
+        """Right-pad short images with erased bytes to full page size."""
+        size = self.geometry.page_size
+        if len(data) > size:
+            raise ValueError(f"data of {len(data)} B exceeds page size {size}")
+        if len(data) < size:
+            return bytes(data) + bytes([ERASED_BYTE]) * (size - len(data))
+        return bytes(data)
+
+    def _check_block_alive(self, block_idx: int) -> None:
+        if self.blocks[block_idx].is_bad:
+            raise BadBlockError(f"block {block_idx} is retired")
+
+    def _charge_program(
+        self,
+        block_idx: int,
+        page_idx: int,
+        data: bytes,
+        oob: bytes | None,
+        reprogram: bool,
+    ) -> None:
+        if reprogram:
+            op_us = self.latency.reprogram_us
+            self.stats.page_reprograms += 1
+        elif self.rules.page_is_lsb(page_idx):
+            op_us = self.latency.program_lsb_us
+            self.stats.page_programs += 1
+        else:
+            op_us = self.latency.program_msb_us
+            self.stats.page_programs += 1
+        nbytes = len(data) + (len(oob) if oob else 0)
+        self.clock.advance(op_us, "program")
+        self.clock.advance(self.latency.transfer_us(nbytes), "bus")
+        self.stats.bytes_programmed += nbytes
+        self._apply_interference(block_idx, page_idx, reprogram)
+
+    def _apply_interference(
+        self, block_idx: int, page_idx: int, reprogram: bool
+    ) -> None:
+        victims = neighbour_pages(
+            page_idx, self.geometry.pages_per_block, self.rules
+        )
+        block = self.blocks[block_idx]
+        for victim_idx in victims:
+            victim = block.pages[victim_idx]
+            if victim.state is not PageState.PROGRAMMED:
+                continue
+            counts = self._disturb.disturb_counts(reprogram)
+            total = int(counts.sum())
+            if total:
+                victim.add_disturb(counts)
+                self.stats.disturb_bit_flips += total

@@ -1,0 +1,118 @@
+"""Error-correction codes and the OOB (spare-area) layout of Figure 3.
+
+Real MLC NAND pairs every page with an out-of-band area holding BCH/LDPC
+parity.  IPA complicates this: appending a delta-record changes page bytes
+*after* the initial ECC was computed, so the paper reserves one OOB ECC
+slot per delta-record in addition to the slot covering the initial data
+(Figure 3: ``ECC_initial | ECC_delta_rec 1 | ... | ECC_delta_rec N``).
+Because OOB cells obey the same program-once physics, each slot is written
+exactly once — slot *k* when delta-record *k* is appended.
+
+We do not implement Galois-field BCH decoding; the simulator knows the
+pristine page image, so "correction" is bookkeeping: the interference model
+counts disturbed bits per codeword, and a read succeeds (counting corrected
+bits) iff no codeword exceeds the configured correction capability.  The
+OOB *integrity* codes, however, are real CRC32s over the covered regions,
+so layout bugs (mis-sized delta areas, overlapping slots) fail loudly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.flash.errors import OobOverflowError
+
+#: Bytes of each OOB ECC slot: 4-byte CRC32 + 2-byte coverage length
+#: + 2 reserved bytes, loosely matching the 8-byte BCH parity per 512 B
+#: of commodity parts.
+ECC_SLOT_SIZE = 8
+
+_ERASED_SLOT = b"\xff" * ECC_SLOT_SIZE
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Correction capability of the (modelled) page ECC.
+
+    Attributes:
+        codeword_bytes: Data bytes protected by one codeword.
+        correctable_bits: Maximum bit errors correctable per codeword.
+            40 bits / 1 KB is typical for the MLC generation of the
+            OpenSSD Jasmine board.
+    """
+
+    codeword_bytes: int = 1024
+    correctable_bits: int = 40
+
+    def codewords_for(self, page_size: int) -> int:
+        """Number of codewords covering a page of ``page_size`` bytes."""
+        return -(-page_size // self.codeword_bytes)
+
+
+DEFAULT_ECC = EccConfig()
+
+
+def crc_slot(data: bytes) -> bytes:
+    """Encode one OOB ECC slot: CRC32 and length of the covered region."""
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    length = len(data) & 0xFFFF
+    return crc.to_bytes(4, "little") + length.to_bytes(2, "little") + b"\x00\x00"
+
+
+def slot_matches(slot: bytes, data: bytes) -> bool:
+    """True iff ``slot`` is the ECC slot for ``data``."""
+    return slot == crc_slot(data)
+
+
+def slot_is_erased(slot: bytes) -> bool:
+    """True iff the slot has never been programmed."""
+    return slot == _ERASED_SLOT
+
+
+class OobLayout:
+    """Partition of a page's OOB area into ECC slots (Figure 3).
+
+    Slot 0 covers the initial page payload; slots ``1..n_delta_slots``
+    cover the successive delta-records.  The layout is pure arithmetic;
+    the bytes live in the page's OOB buffer.
+    """
+
+    def __init__(self, oob_size: int, n_delta_slots: int) -> None:
+        needed = (1 + n_delta_slots) * ECC_SLOT_SIZE
+        if needed > oob_size:
+            raise OobOverflowError(
+                f"OOB of {oob_size} B cannot hold 1+{n_delta_slots} ECC slots "
+                f"({needed} B needed)"
+            )
+        self.oob_size = oob_size
+        self.n_delta_slots = n_delta_slots
+
+    def slot_span(self, slot_index: int) -> tuple[int, int]:
+        """(offset, end) of slot ``slot_index`` within the OOB buffer."""
+        if not 0 <= slot_index <= self.n_delta_slots:
+            raise OobOverflowError(
+                f"slot {slot_index} out of range [0, {self.n_delta_slots}]"
+            )
+        start = slot_index * ECC_SLOT_SIZE
+        return start, start + ECC_SLOT_SIZE
+
+    def read_slot(self, oob: bytes, slot_index: int) -> bytes:
+        """Extract slot ``slot_index`` from an OOB image."""
+        start, end = self.slot_span(slot_index)
+        return bytes(oob[start:end])
+
+    def write_slot(self, oob: bytearray, slot_index: int, slot: bytes) -> None:
+        """Write ``slot`` into an OOB buffer (caller programs it to Flash)."""
+        if len(slot) != ECC_SLOT_SIZE:
+            raise ValueError(f"slot must be {ECC_SLOT_SIZE} bytes, got {len(slot)}")
+        start, end = self.slot_span(slot_index)
+        oob[start:end] = slot
+
+    def used_delta_slots(self, oob: bytes) -> int:
+        """Number of delta slots already programmed in this OOB image."""
+        used = 0
+        for i in range(1, self.n_delta_slots + 1):
+            if not slot_is_erased(self.read_slot(oob, i)):
+                used += 1
+        return used

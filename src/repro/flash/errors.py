@@ -1,0 +1,67 @@
+"""Exception hierarchy of the Flash simulator.
+
+Every failure mode the simulated hardware can exhibit is a distinct
+exception type so callers (FTLs, the storage manager, tests) can react to
+exactly the condition they care about.
+"""
+
+from __future__ import annotations
+
+
+class FlashError(Exception):
+    """Base class for all simulated-hardware errors."""
+
+
+class IllegalAddressError(FlashError):
+    """An operation addressed a page or block outside the chip geometry."""
+
+
+class IllegalProgramError(FlashError):
+    """A program operation required decreasing a cell's charge.
+
+    Raising this is the simulator's enforcement of the erase-before-
+    overwrite principle: the requested bit pattern is not reachable from
+    the page's current contents without an erase (paper Section 2).
+    """
+
+    def __init__(self, message: str, first_bad_offset: int = -1) -> None:
+        super().__init__(message)
+        #: Byte offset of the first violating byte, or -1 if unknown.
+        self.first_bad_offset = first_bad_offset
+
+
+class WriteToProgrammedPageError(FlashError):
+    """A plain program targeted an already-programmed page.
+
+    Plain (non-reprogram) writes must target erased pages; overwriting an
+    existing page requires the explicit reprogram path so the caller
+    acknowledges it is relying on in-place-append semantics.
+    """
+
+
+class EccUncorrectableError(FlashError):
+    """A read found more bit errors than the ECC can correct.
+
+    Carries the observed error count so experiments can report raw bit
+    error rates (the failure mode of applying IPA to full-MLC pages).
+    """
+
+    def __init__(self, message: str, bit_errors: int = 0) -> None:
+        super().__init__(message)
+        self.bit_errors = bit_errors
+
+
+class BadBlockError(FlashError):
+    """The block has exceeded its program/erase endurance and was retired."""
+
+
+class ModeViolationError(FlashError):
+    """An operation is not permitted in the chip's current operating mode.
+
+    E.g. programming an MSB page while the chip runs in pseudo-SLC mode, or
+    reprogramming (in-place appending) an MSB page in odd-MLC mode.
+    """
+
+
+class OobOverflowError(FlashError):
+    """A delta append needed more OOB ECC slots than the page layout has."""

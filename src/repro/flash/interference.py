@@ -1,0 +1,86 @@
+"""Program-disturb (parasitic capacitance-coupling) error injection.
+
+Section 3 of the paper: reprogramming a page perturbs the threshold
+voltages of cells on *neighbouring wordlines* through capacitive coupling.
+SLC's wide voltage windows absorb this; MLC's narrow windows do not, which
+is why IPA on full MLC needs the pSLC or odd-MLC configuration.
+
+The model is stochastic and deterministic-per-seed: each program or
+reprogram of a victim wordline's neighbour draws a binomial number of
+disturbed bits per ECC codeword at the mode's per-bit disturb rate.  The
+chip accumulates these counts per page; reads compare them against the ECC
+correction capability (:mod:`repro.flash.ecc`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.ecc import EccConfig
+from repro.flash.modes import ModeRules
+
+
+class DisturbModel:
+    """Injects disturb errors into pages adjacent to a programmed page."""
+
+    def __init__(
+        self,
+        rules: ModeRules,
+        ecc: EccConfig,
+        page_size: int,
+        seed: int = 0xF1A5,
+    ) -> None:
+        self._rules = rules
+        self._ecc = ecc
+        self._page_size = page_size
+        self._rng = np.random.default_rng(seed)
+        self._bits_per_codeword = ecc.codeword_bytes * 8
+        self.total_injected_bits = 0
+
+    def disturb_counts(self, reprogram: bool) -> np.ndarray:
+        """Bit-error increments per codeword for one neighbour page.
+
+        Args:
+            reprogram: True for an in-place append (higher disturb rate),
+                False for a first program.
+
+        Returns:
+            Array of per-codeword disturbed-bit counts (often all zero).
+        """
+        rate = (
+            self._rules.disturb_rate_reprogram
+            if reprogram
+            else self._rules.disturb_rate_program
+        )
+        n_codewords = self._ecc.codewords_for(self._page_size)
+        counts = self._rng.binomial(self._bits_per_codeword, rate, size=n_codewords)
+        self.total_injected_bits += int(counts.sum())
+        return counts
+
+
+def neighbour_pages(
+    page_in_block: int,
+    pages_per_block: int,
+    rules: ModeRules,
+) -> list[int]:
+    """Pages whose cells are coupled to ``page_in_block``'s wordline.
+
+    On MLC silicon the paired page shares the *same* cells, and pages on
+    the two adjacent wordlines couple capacitively.  On SLC each page is
+    its own wordline, so only the adjacent wordlines matter.
+    """
+    victims: list[int] = []
+    if rules.mode.is_mlc_silicon:
+        pair = rules.paired_page(page_in_block)
+        if pair is not None and 0 <= pair < pages_per_block:
+            victims.append(pair)
+        wordline = page_in_block // 2
+        for neighbour_wl in (wordline - 1, wordline + 1):
+            for candidate in (neighbour_wl * 2, neighbour_wl * 2 + 1):
+                if 0 <= candidate < pages_per_block:
+                    victims.append(candidate)
+    else:
+        for candidate in (page_in_block - 1, page_in_block + 1):
+            if 0 <= candidate < pages_per_block:
+                victims.append(candidate)
+    return victims

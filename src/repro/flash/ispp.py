@@ -1,0 +1,160 @@
+"""Incremental Step Pulse Programming (ISPP) at single-cell resolution.
+
+This module reproduces Figure 2 of the paper: a floating-gate cell is
+programmed by a train of voltage pulses, each raising the cell's charge by
+roughly ``delta_v_pgm``, with a verify (sense) step after every pulse.  Two
+physical facts fall out of the model and carry the whole paper:
+
+1. a pulse can only *add* charge — there is no "erase pulse" at page
+   granularity, only the block-level erase that resets every cell;
+2. therefore a second program pass over a page is harmless to cells whose
+   target charge is not below their current charge — the legality rule the
+   vectorized page model (:mod:`repro.flash.cellmodel`) enforces in bulk.
+
+The chip's bulk data path does not simulate pulses (that would be absurdly
+slow); this model backs the educational example ``examples/ispp_microscope.py``
+and the E3/Figure-2 benchmark, and its loop counts feed the latency model's
+program-time ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.errors import IllegalProgramError
+
+
+@dataclass(frozen=True)
+class IsppParameters:
+    """Tuning of the ISPP pulse train.
+
+    Attributes:
+        v_start: Gate voltage of the first programming pulse (volts).
+        delta_v_pgm: Increment added to the gate voltage per pulse (volts).
+            Smaller steps give tighter threshold distributions (needed for
+            MLC) at the cost of more pulses -> longer program time.
+        pulse_us: Duration of one program pulse (microseconds).
+        verify_us: Duration of one verify (sense) step (microseconds).
+        charge_per_volt: Simplified coupling: charge added per volt of
+            gate overdrive above the cell's current threshold.
+    """
+
+    v_start: float = 16.0
+    delta_v_pgm: float = 0.5
+    pulse_us: float = 20.0
+    verify_us: float = 5.0
+    charge_per_volt: float = 0.08
+
+    def with_step(self, delta_v_pgm: float) -> "IsppParameters":
+        """Copy of these parameters with a different step voltage."""
+        return IsppParameters(
+            v_start=self.v_start,
+            delta_v_pgm=delta_v_pgm,
+            pulse_us=self.pulse_us,
+            verify_us=self.verify_us,
+            charge_per_volt=self.charge_per_volt,
+        )
+
+
+#: Coarse steps: fast, wide distributions — good enough for SLC / LSB pages.
+SLC_ISPP = IsppParameters(delta_v_pgm=0.6)
+#: Fine steps: slow, tight distributions — required for MLC MSB programming.
+MLC_ISPP = IsppParameters(delta_v_pgm=0.15)
+
+
+@dataclass
+class PulseTrace:
+    """Outcome of programming one cell: per-pulse charge trajectory."""
+
+    pulses: int
+    final_charge: float
+    charges: list[float]
+    elapsed_us: float
+
+
+class FloatingGateCell:
+    """One floating-gate (or charge-trap) cell.
+
+    Charge is a non-negative float; ``0.0`` is the erased state.  The only
+    way to lower the charge is :meth:`erase`, mirroring real NAND where the
+    erase operates on whole blocks.
+    """
+
+    def __init__(self, params: IsppParameters = SLC_ISPP) -> None:
+        self.params = params
+        self.charge: float = 0.0
+        self.program_passes: int = 0
+
+    def erase(self) -> None:
+        """Reset the cell to the erased (zero-charge) state."""
+        self.charge = 0.0
+        self.program_passes = 0
+
+    def program_to(self, target_charge: float) -> PulseTrace:
+        """Raise the cell's charge to at least ``target_charge`` via ISPP.
+
+        Each loop applies one pulse (charge increases by an amount
+        proportional to the current gate voltage) and then verifies.  The
+        gate voltage starts at ``v_start`` and is stepped by
+        ``delta_v_pgm`` per loop, exactly the staircase of Figure 2.
+
+        Raises:
+            IllegalProgramError: if ``target_charge`` is *below* the
+                current charge — lowering charge needs a block erase.
+        """
+        if target_charge < 0:
+            raise ValueError("target_charge must be non-negative")
+        if target_charge < self.charge - 1e-9:
+            raise IllegalProgramError(
+                "ISPP cannot remove charge: "
+                f"current={self.charge:.3f} target={target_charge:.3f}"
+            )
+
+        charges: list[float] = []
+        elapsed = 0.0
+        pulses = 0
+        v_gate = self.params.v_start
+        # Verify-before-program: a cell already at target needs zero pulses,
+        # which is why re-programming unchanged data is charge-neutral.
+        elapsed += self.params.verify_us
+        while self.charge < target_charge - 1e-9:
+            gained = self.params.delta_v_pgm * self.params.charge_per_volt
+            self.charge += gained
+            v_gate += self.params.delta_v_pgm
+            pulses += 1
+            elapsed += self.params.pulse_us + self.params.verify_us
+            charges.append(self.charge)
+            if pulses > 10_000:
+                raise RuntimeError("ISPP failed to converge (bad parameters)")
+        self.program_passes += 1
+        return PulseTrace(
+            pulses=pulses,
+            final_charge=self.charge,
+            charges=charges,
+            elapsed_us=elapsed,
+        )
+
+
+def program_wordline(
+    targets: list[float],
+    cells: list[FloatingGateCell],
+) -> list[PulseTrace]:
+    """Program every cell of one wordline to its target charge.
+
+    In real NAND all cells of a wordline are pulsed together and inhibited
+    individually once they verify (bitline at VCC, Figure 2); the aggregate
+    effect per cell is the same as programming each to its own target, so
+    we model it cell-by-cell.
+
+    Raises:
+        IllegalProgramError: if any cell would need its charge lowered —
+            the wordline-level statement of erase-before-overwrite.
+    """
+    if len(targets) != len(cells):
+        raise ValueError("targets and cells must have equal length")
+    for i, (cell, target) in enumerate(zip(cells, targets)):
+        if target < cell.charge - 1e-9:
+            raise IllegalProgramError(
+                f"cell {i}: charge decrease requires erase", first_bad_offset=i
+            )
+    return [cell.program_to(t) for cell, t in zip(cells, targets)]

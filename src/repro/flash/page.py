@@ -1,0 +1,168 @@
+"""One physical Flash page: data area, OOB area, and disturb bookkeeping.
+
+A page's life cycle is ``ERASED -> PROGRAMMED -> (reprogrammed)* -> ERASED``.
+The page object enforces the transition rules; the chip layers addressing,
+latency, interference and statistics on top.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.flash.cellmodel import (
+    ERASED_BYTE,
+    first_illegal_offset,
+    slc_transition_legal,
+)
+from repro.flash.ecc import EccConfig
+from repro.flash.errors import (
+    EccUncorrectableError,
+    IllegalProgramError,
+    WriteToProgrammedPageError,
+)
+
+
+class PageState(enum.Enum):
+    """Programming state of a physical page."""
+
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+
+
+class PhysicalPage:
+    """Data + OOB cell arrays of one page, with transition enforcement.
+
+    The stored image is always the *pristine* (as-programmed) bytes;
+    disturb errors are tracked as per-codeword bit-error counts rather
+    than actual flips, so the ECC model can decide whether a read is
+    correctable without storing a second copy of the data.
+    """
+
+    __slots__ = ("_data", "_oob", "state", "program_passes", "_disturb", "_ecc")
+
+    def __init__(self, page_size: int, oob_size: int, ecc: EccConfig) -> None:
+        self._data = bytearray([ERASED_BYTE]) * page_size
+        self._oob = bytearray([ERASED_BYTE]) * oob_size
+        self.state = PageState.ERASED
+        self.program_passes = 0
+        self._ecc = ecc
+        self._disturb = np.zeros(ecc.codewords_for(page_size), dtype=np.int64)
+
+    @property
+    def page_size(self) -> int:
+        return len(self._data)
+
+    @property
+    def oob_size(self) -> int:
+        return len(self._oob)
+
+    @property
+    def disturb_bits(self) -> int:
+        """Total disturbed bits currently accumulated on this page."""
+        return int(self._disturb.sum())
+
+    def erase(self) -> None:
+        """Reset every cell (data and OOB) to the erased state."""
+        for i in range(len(self._data)):
+            self._data[i] = ERASED_BYTE
+        for i in range(len(self._oob)):
+            self._oob[i] = ERASED_BYTE
+        self.state = PageState.ERASED
+        self.program_passes = 0
+        self._disturb[:] = 0
+
+    def program(self, data: bytes, oob: bytes | None = None) -> None:
+        """First-time program of an erased page.
+
+        Raises:
+            WriteToProgrammedPageError: if the page is not erased; use
+                :meth:`reprogram` to overwrite deliberately.
+        """
+        if self.state is not PageState.ERASED:
+            raise WriteToProgrammedPageError(
+                "plain program of a programmed page; reprogram() is explicit"
+            )
+        self._check_sizes(data, oob)
+        self._data[:] = data
+        if oob is not None:
+            self._oob[:] = oob
+        self.state = PageState.PROGRAMMED
+        self.program_passes = 1
+
+    def reprogram(self, data: bytes, oob: bytes | None = None) -> None:
+        """Overwrite without erase — legal only if no bit goes 0 -> 1.
+
+        This is the physical operation behind In-Place Appends: ISPP can
+        raise cell charges, so any transition that only clears bits is
+        reachable from the current image (paper Section 2).
+
+        Raises:
+            IllegalProgramError: if any bit (data or OOB) would need to
+                return to 1, i.e. the transition requires an erase.
+        """
+        self._check_sizes(data, oob)
+        if not slc_transition_legal(self._data, data):
+            off = first_illegal_offset(self._data, data)
+            raise IllegalProgramError(
+                f"reprogram needs erase: data byte {off} sets a cleared bit",
+                first_bad_offset=off,
+            )
+        if oob is not None and not slc_transition_legal(self._oob, oob):
+            off = first_illegal_offset(self._oob, oob)
+            raise IllegalProgramError(
+                f"reprogram needs erase: OOB byte {off} sets a cleared bit",
+                first_bad_offset=off,
+            )
+        self._data[:] = data
+        if oob is not None:
+            self._oob[:] = oob
+        self.state = PageState.PROGRAMMED
+        self.program_passes += 1
+
+    def raw_data(self) -> bytes:
+        """Pristine data image, bypassing the ECC check (for legality tests)."""
+        return bytes(self._data)
+
+    def raw_oob(self) -> bytes:
+        """Pristine OOB image, bypassing the ECC check."""
+        return bytes(self._oob)
+
+    def read(self, check_ecc: bool = True) -> tuple[bytes, bytes, int]:
+        """Read data and OOB through the ECC model.
+
+        Returns:
+            ``(data, oob, corrected_bits)`` where ``corrected_bits`` is the
+            number of disturbed bits the ECC had to correct on this read.
+
+        Raises:
+            EccUncorrectableError: if any codeword's accumulated disturb
+                count exceeds the correction capability.
+        """
+        corrected = 0
+        if check_ecc and self.state is PageState.PROGRAMMED:
+            worst = int(self._disturb.max()) if self._disturb.size else 0
+            if worst > self._ecc.correctable_bits:
+                raise EccUncorrectableError(
+                    f"codeword with {worst} bit errors exceeds "
+                    f"t={self._ecc.correctable_bits}",
+                    bit_errors=worst,
+                )
+            corrected = int(self._disturb.sum())
+        return bytes(self._data), bytes(self._oob), corrected
+
+    def add_disturb(self, counts: np.ndarray) -> None:
+        """Accumulate disturb bit-error counts (only if programmed)."""
+        if self.state is PageState.PROGRAMMED:
+            self._disturb += counts
+
+    def _check_sizes(self, data: bytes, oob: bytes | None) -> None:
+        if len(data) != len(self._data):
+            raise ValueError(
+                f"data must be exactly {len(self._data)} bytes, got {len(data)}"
+            )
+        if oob is not None and len(oob) != len(self._oob):
+            raise ValueError(
+                f"oob must be exactly {len(self._oob)} bytes, got {len(oob)}"
+            )

@@ -1,0 +1,118 @@
+"""Operation counters shared by the chip, the FTLs and the harness.
+
+Every metric of the paper's Table 1 is derived from these counters:
+
+* ``host_reads`` / ``host_writes`` — page-granular I/O issued by the DBMS;
+* ``gc_page_migrations`` / ``gc_erases`` — garbage-collection overhead;
+* ``page_invalidations`` — the quantity IPA attacks (67 % reduction claim);
+* byte counters — DBMS write-amplification (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class FlashStats:
+    """Cumulative counters for one chip (device-level events)."""
+
+    page_reads: int = 0
+    page_programs: int = 0
+    page_reprograms: int = 0  # in-place appends at the physical layer
+    block_erases: int = 0
+    bytes_read: int = 0
+    bytes_programmed: int = 0
+    ecc_corrected_bits: int = 0
+    ecc_uncorrectable_events: int = 0
+    disturb_bit_flips: int = 0
+
+    def snapshot(self) -> "FlashStats":
+        """Return an independent copy of the current counters."""
+        return FlashStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def diff(self, earlier: "FlashStats") -> "FlashStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return FlashStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+@dataclass
+class DeviceStats:
+    """Counters at the FTL / host-interface level.
+
+    ``host_*`` counters describe traffic as the DBMS sees it; ``gc_*``
+    counters describe work the device does on its own behalf.  The
+    ``per_host_write`` ratios of Table 1 divide the latter by the former.
+    """
+
+    host_reads: int = 0
+    host_writes: int = 0
+    host_delta_writes: int = 0  # write_delta() commands (IPA-native only)
+    host_bytes_read: int = 0
+    host_bytes_written: int = 0
+    page_invalidations: int = 0
+    in_place_appends: int = 0
+    out_of_place_writes: int = 0
+    gc_page_migrations: int = 0
+    gc_erases: int = 0
+    trims: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_host_write_ops(self) -> int:
+        """Whole-page writes plus delta writes (the Table-1 denominator)."""
+        return self.host_writes + self.host_delta_writes
+
+    @property
+    def migrations_per_host_write(self) -> float:
+        """GC page migrations per host write (Table 1, row 5)."""
+        denom = self.total_host_write_ops
+        return self.gc_page_migrations / denom if denom else 0.0
+
+    @property
+    def erases_per_host_write(self) -> float:
+        """GC erases per host write (Table 1, row 6)."""
+        denom = self.total_host_write_ops
+        return self.gc_erases / denom if denom else 0.0
+
+    def snapshot(self) -> "DeviceStats":
+        """Return an independent copy of the current counters."""
+        copy = DeviceStats(
+            **{
+                f.name: getattr(self, f.name)
+                for f in fields(self)
+                if f.name != "extra"
+            }
+        )
+        copy.extra = dict(self.extra)
+        return copy
+
+    def diff(self, earlier: "DeviceStats") -> "DeviceStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        out = DeviceStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+                if f.name != "extra"
+            }
+        )
+        out.extra = dict(self.extra)
+        return out
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        for f in fields(self):
+            if f.name == "extra":
+                self.extra = {}
+            else:
+                setattr(self, f.name, 0)

@@ -1,0 +1,328 @@
+"""NoFTL: native Flash under DBMS control, with regions and write_delta.
+
+The paper implements IPA inside the NoFTL architecture [6]: the DBMS sees
+the Flash directly (no device-side mapping duplication) and partitions it
+into **regions** [7], each with its own configuration.  IPA is enabled
+per region, so it applies "selectively, only to certain database objects
+that are dominated by small-sized updates" (Section 3).
+
+The defining command of Demo-Scenario 3 is::
+
+    write_delta(LBA, offset, delta_length, delta_bytes[])
+
+Only the delta-record bytes cross the host interface; the device appends
+them to the physical page already holding the LBA (a partial reprogram)
+and writes the delta's ECC into the page's next free OOB slot (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.chip import FlashChip
+from repro.flash.ecc import OobLayout, crc_slot
+from repro.flash.errors import IllegalProgramError, ModeViolationError
+from repro.flash.stats import DeviceStats
+from repro.ftl.gc import BlockManager
+
+
+@dataclass(frozen=True)
+class IpaRegionConfig:
+    """IPA parameters of one region: the N x M scheme of Section 3.
+
+    Attributes:
+        n_records: N — delta-records per page (and OOB ECC slots used).
+        m_bytes: M — maximum changed bytes captured per delta-record.
+    """
+
+    n_records: int
+    m_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.n_records < 1 or self.m_bytes < 1:
+            raise ValueError("N and M must both be >= 1 for an IPA region")
+
+
+class Region:
+    """A contiguous group of erase blocks with one configuration.
+
+    Not constructed directly — use :meth:`NoFtlDevice.create_region`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        chip: FlashChip,
+        block_ids: list[int],
+        stats: DeviceStats,
+        lba_base: int,
+        ipa: IpaRegionConfig | None,
+        over_provisioning: float,
+        gc_spare_blocks: int,
+        logical_pages: int | None = None,
+        lsb_first: bool = False,
+    ) -> None:
+        self.name = name
+        self.chip = chip
+        #: Per-region counters; the device exposes the aggregate.
+        self.stats = stats
+        self.ipa = ipa
+        self.lba_base = lba_base
+        self._blocks = BlockManager(
+            chip,
+            block_ids,
+            stats,
+            over_provisioning=over_provisioning,
+            gc_spare_blocks=gc_spare_blocks,
+            logical_cap=logical_pages,
+            lsb_first=lsb_first,
+        )
+        self._oob_layout = (
+            OobLayout(chip.geometry.oob_size, ipa.n_records) if ipa else None
+        )
+
+    @property
+    def logical_pages(self) -> int:
+        """LBAs this region contributes to the device address space."""
+        return self._blocks.logical_pages
+
+    @property
+    def lba_end(self) -> int:
+        """One past the last LBA of this region."""
+        return self.lba_base + self.logical_pages
+
+    def contains(self, lba: int) -> bool:
+        """True iff ``lba`` is routed to this region."""
+        return self.lba_base <= lba < self.lba_end
+
+    def _local(self, lba: int) -> int:
+        return lba - self.lba_base
+
+    def read_page(self, lba: int) -> bytes:
+        ppn = self._blocks.ppn_of(self._local(lba))
+        if ppn is None:
+            raise KeyError(f"read of unwritten lba {lba} (region {self.name})")
+        data = self.chip.read_page(ppn)
+        self.stats.host_reads += 1
+        self.stats.host_bytes_read += len(data)
+        return data
+
+    def write_page(self, lba: int, data: bytes) -> None:
+        self.stats.host_writes += 1
+        self.stats.host_bytes_written += len(data)
+        oob = None
+        if self._oob_layout is not None:
+            # Fresh page image: program slot 0 (initial-data ECC) now;
+            # delta slots stay erased for future write_delta calls.
+            oob_buf = bytearray(b"\xff" * self.chip.geometry.oob_size)
+            self._oob_layout.write_slot(oob_buf, 0, crc_slot(data))
+            oob = bytes(oob_buf)
+        self._blocks.write(self._local(lba), data, oob)
+        self.stats.out_of_place_writes += 1
+
+    def write_delta(self, lba: int, offset: int, payload: bytes) -> bool:
+        """The paper's command: append a delta-record to the page in place.
+
+        Returns False (caller falls back to :meth:`write_page`) when the
+        region has IPA disabled, the LBA is unmapped, the physical page's
+        mode forbids reprogramming, all N OOB slots are used, or the
+        append region is not erased.
+        """
+        if self.ipa is None or self._oob_layout is None:
+            return False
+        local = self._local(lba)
+        ppn = self._blocks.ppn_of(local)
+        if ppn is None:
+            return False
+        used = self._blocks.appends_done.get(ppn, 0)
+        if used >= self.ipa.n_records:
+            return False
+        slot_start, _end = self._oob_layout.slot_span(used + 1)
+        try:
+            self.chip.partial_program(
+                ppn,
+                offset,
+                payload,
+                oob_offset=slot_start,
+                oob_payload=crc_slot(payload),
+            )
+        except (IllegalProgramError, ModeViolationError):
+            return False
+        self._blocks.appends_done[ppn] = used + 1
+        self.stats.host_delta_writes += 1
+        self.stats.host_bytes_written += len(payload)
+        self.stats.in_place_appends += 1
+        return True
+
+    def appends_on(self, lba: int) -> int:
+        """Delta-records appended to the LBA's current physical page."""
+        ppn = self._blocks.ppn_of(self._local(lba))
+        if ppn is None:
+            return 0
+        return self._blocks.appends_done.get(ppn, 0)
+
+    def trim(self, lba: int) -> None:
+        self._blocks.trim(self._local(lba))
+
+
+class NoFtlDevice:
+    """Native-Flash device: a chip partitioned into configured regions.
+
+    Usage::
+
+        device = NoFtlDevice(chip)
+        hot = device.create_region("accounts", blocks=48,
+                                   ipa=IpaRegionConfig(n_records=2, m_bytes=4))
+        cold = device.create_region("history", blocks=16, ipa=None)
+
+    LBAs are assigned contiguously in region-creation order; the device
+    routes every call to the owning region.
+    """
+
+    def __init__(
+        self,
+        chip: FlashChip,
+        over_provisioning: float = 0.10,
+        gc_spare_blocks: int = 2,
+    ) -> None:
+        self.chip = chip
+        self.regions: list[Region] = []
+        self._over_provisioning = over_provisioning
+        self._gc_spare_blocks = gc_spare_blocks
+        self._next_block = 0
+
+    @property
+    def stats(self) -> DeviceStats:
+        """Device-wide aggregate of every region's counters.
+
+        Regions keep their own :class:`DeviceStats` (see
+        :meth:`region_report`); callers that snapshot/diff the device
+        stats get a freshly computed aggregate each access.
+        """
+        from dataclasses import fields
+
+        aggregate = DeviceStats()
+        for region in self.regions:
+            for f in fields(DeviceStats):
+                if f.name == "extra":
+                    continue
+                setattr(
+                    aggregate,
+                    f.name,
+                    getattr(aggregate, f.name) + getattr(region.stats, f.name),
+                )
+            for key, value in region.stats.extra.items():
+                if isinstance(value, (int, float)):
+                    aggregate.extra[key] = aggregate.extra.get(key, 0) + value
+                else:
+                    aggregate.extra[key] = value
+        return aggregate
+
+    def region_report(self) -> str:
+        """Per-region counter table (for the demo/diagnostics)."""
+        from repro.bench.report import render_table
+
+        return render_table(
+            ["Region", "IPA", "LBAs", "Reads", "Writes", "Deltas",
+             "Invalidations", "GC migr", "GC erases"],
+            [
+                [
+                    r.name,
+                    f"[{r.ipa.n_records}x{r.ipa.m_bytes}]" if r.ipa else "off",
+                    str(r.logical_pages),
+                    str(r.stats.host_reads),
+                    str(r.stats.host_writes),
+                    str(r.stats.host_delta_writes),
+                    str(r.stats.page_invalidations),
+                    str(r.stats.gc_page_migrations),
+                    str(r.stats.gc_erases),
+                ]
+                for r in self.regions
+            ],
+            title="NoFTL per-region statistics",
+        )
+
+    @property
+    def logical_pages(self) -> int:
+        """Total LBAs across all regions created so far."""
+        return sum(r.logical_pages for r in self.regions)
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per logical page."""
+        return self.chip.geometry.page_size
+
+    @property
+    def blocks_remaining(self) -> int:
+        """Blocks not yet assigned to any region."""
+        return self.chip.geometry.blocks - self._next_block
+
+    def create_region(
+        self,
+        name: str,
+        blocks: int,
+        ipa: IpaRegionConfig | None = None,
+        over_provisioning: float | None = None,
+        logical_pages: int | None = None,
+        lsb_first: bool = False,
+    ) -> Region:
+        """Carve the next ``blocks`` erase units into a new region.
+
+        Args:
+            name: Region label (diagnostics only).
+            blocks: Erase units to assign.
+            ipa: N x M configuration, or None for a plain region.
+            over_provisioning: Per-region override.
+            logical_pages: Cap the LBAs this region exposes (lets callers
+                align region sizes exactly with file page budgets; the
+                surplus physical space becomes extra GC headroom).
+            lsb_first: Fill LSB pages before MSB pages within each block
+                (odd-MLC optimization: maximizes appendable residency).
+        """
+        if blocks > self.blocks_remaining:
+            raise ValueError(
+                f"region '{name}' wants {blocks} blocks, only "
+                f"{self.blocks_remaining} remain"
+            )
+        block_ids = list(range(self._next_block, self._next_block + blocks))
+        self._next_block += blocks
+        lba_base = self.logical_pages
+        region = Region(
+            name,
+            self.chip,
+            block_ids,
+            DeviceStats(),
+            lba_base,
+            ipa,
+            over_provisioning
+            if over_provisioning is not None
+            else self._over_provisioning,
+            self._gc_spare_blocks,
+            logical_pages=logical_pages,
+            lsb_first=lsb_first,
+        )
+        self.regions.append(region)
+        return region
+
+    def region_of(self, lba: int) -> Region:
+        """The region owning ``lba`` (KeyError if out of range)."""
+        for region in self.regions:
+            if region.contains(lba):
+                return region
+        raise KeyError(f"lba {lba} not in any region")
+
+    def read_page(self, lba: int) -> bytes:
+        """Read one logical page via its region."""
+        return self.region_of(lba).read_page(lba)
+
+    def write_page(self, lba: int, data: bytes) -> None:
+        """Out-of-place write via the owning region."""
+        self.region_of(lba).write_page(lba, data)
+
+    def write_delta(self, lba: int, offset: int, payload: bytes) -> bool:
+        """Route the write_delta command to the owning region."""
+        return self.region_of(lba).write_delta(lba, offset, payload)
+
+    def trim(self, lba: int) -> None:
+        """Invalidate a dead logical page."""
+        self.region_of(lba).trim(lba)

@@ -1,0 +1,81 @@
+"""A conventional black-box SSD: page-level mapping, all writes out-of-place.
+
+This is the paper's baseline (Demo-Scenario 1, the [0x0] column of
+Table 1): every host page write lands in a fresh physical page and
+invalidates the previous one; greedy GC migrates and erases behind the
+host's back.  The on-device write-amplification that GC generates is the
+"major performance bottleneck" [4] IPA attacks.
+"""
+
+from __future__ import annotations
+
+from repro.flash.chip import FlashChip
+from repro.flash.stats import DeviceStats
+from repro.ftl.gc import BlockManager
+
+
+class PageMappingFtl:
+    """Conventional SSD with a page-granular mapping table.
+
+    Args:
+        chip: The NAND chip (any mode; pSLC halves logical capacity).
+        over_provisioning: Usable-page fraction withheld for GC headroom.
+        gc_spare_blocks: Free-block low watermark triggering GC.
+    """
+
+    def __init__(
+        self,
+        chip: FlashChip,
+        over_provisioning: float = 0.10,
+        gc_spare_blocks: int = 2,
+        wear_leveling_gap: int | None = None,
+    ) -> None:
+        self.chip = chip
+        self.stats = DeviceStats()
+        self._blocks = BlockManager(
+            chip,
+            list(range(chip.geometry.blocks)),
+            self.stats,
+            over_provisioning=over_provisioning,
+            gc_spare_blocks=gc_spare_blocks,
+            wear_leveling_gap=wear_leveling_gap,
+        )
+
+    @property
+    def logical_pages(self) -> int:
+        """LBAs the host may address (physical minus over-provisioning)."""
+        return self._blocks.logical_pages
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per logical page (equals the physical page size)."""
+        return self.chip.geometry.page_size
+
+    def is_mapped(self, lba: int) -> bool:
+        """True once the LBA has been written at least once."""
+        return self._blocks.ppn_of(lba) is not None
+
+    def read_page(self, lba: int) -> bytes:
+        """Read one logical page (raises KeyError if never written)."""
+        ppn = self._blocks.ppn_of(lba)
+        if ppn is None:
+            raise KeyError(f"read of unwritten lba {lba}")
+        data = self.chip.read_page(ppn)
+        self.stats.host_reads += 1
+        self.stats.host_bytes_read += len(data)
+        return data
+
+    def write_page(self, lba: int, data: bytes) -> None:
+        """Out-of-place write (always, for the conventional device)."""
+        self.stats.host_writes += 1
+        self.stats.host_bytes_written += len(data)
+        self._blocks.write(lba, data)
+        self.stats.out_of_place_writes += 1
+
+    def write_delta(self, lba: int, offset: int, payload: bytes) -> bool:
+        """Unsupported on a block-device interface: always False."""
+        return False
+
+    def trim(self, lba: int) -> None:
+        """Invalidate a dead logical page (no rewrite)."""
+        self._blocks.trim(lba)

@@ -1,0 +1,21 @@
+"""DBMS storage engine: the Shore-MT stand-in.
+
+NSM slotted pages with a delta-record area (:mod:`repro.storage.layout`),
+a buffer pool with byte-granular change tracking
+(:mod:`repro.storage.buffer`), and a storage manager wiring fetch /
+modify / evict to one of the device write policies
+(:mod:`repro.storage.manager`).
+"""
+
+from repro.storage.layout import SlottedPage, PageFullError
+from repro.storage.buffer import BufferPool, Frame
+from repro.storage.manager import StorageManager, WritePolicy
+
+__all__ = [
+    "BufferPool",
+    "Frame",
+    "PageFullError",
+    "SlottedPage",
+    "StorageManager",
+    "WritePolicy",
+]

@@ -1,0 +1,474 @@
+"""A paged B+-tree over slotted pages.
+
+The engine's hash indexes live in memory (see
+:mod:`repro.engine.index`); this B+-tree is the *paged* alternative — an
+index whose nodes are ordinary database pages and therefore interact
+with IPA like any other page:
+
+* entry **value updates** change a handful of bytes → delta-records;
+* entry **inserts** shift the slot array → out-of-place evictions;
+
+which makes it a natural tenant for an IPA region when the workload is
+update-heavy (the paper: IPA is applied "selectively, only to certain
+database objects that are dominated by small-sized updates").
+
+Design:
+
+* fixed-width entries: 8-byte big-endian keys (order-preserving for
+  signed integers via bias), fixed ``value_size`` payloads;
+* internal entries are ``(separator, child_page_index)``; slot 0 of an
+  internal node is the leftmost child with a -inf separator;
+* the root stays at page index 0 forever (root splits copy out);
+* leaves are chained through the header's reserved field for range
+  scans;
+* deletes remove leaf entries without rebalancing (lazy deletion).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.storage.layout import PageFullError, SlottedPage
+from repro.storage.manager import StorageManager
+
+_KEY_SIZE = 8
+_CHILD_SIZE = 4
+_KEY_BIAS = 1 << 63  # maps signed int64 to order-preserving uint64
+_NO_LEAF = 0xFFFF
+
+FLAG_LEAF = 0x0001
+
+
+class KeyNotFoundError(KeyError):
+    """Lookup/update/delete target is absent."""
+
+
+def _encode_key(key: int) -> bytes:
+    return (key + _KEY_BIAS).to_bytes(_KEY_SIZE, "big")
+
+
+def _decode_key(raw: bytes) -> int:
+    return int.from_bytes(raw, "big") - _KEY_BIAS
+
+
+class BPlusTree:
+    """B+-tree with int64 keys and fixed-size byte values.
+
+    Args:
+        manager: Storage manager the node pages live under.
+        base_lba: First LBA of the index file.
+        max_pages: Page budget (must be < 65536: leaf links are 16-bit
+            page indexes).
+        value_size: Exact byte width of every value.
+    """
+
+    def __init__(
+        self,
+        manager: StorageManager,
+        base_lba: int,
+        max_pages: int,
+        value_size: int,
+        file_id: int = 99,
+    ) -> None:
+        if not 1 <= max_pages < 0xFFFF:
+            raise ValueError("max_pages must be in [1, 65534]")
+        if value_size < 1:
+            raise ValueError("value_size must be >= 1")
+        self.manager = manager
+        self.base_lba = base_lba
+        self.max_pages = max_pages
+        self.value_size = value_size
+        self.file_id = file_id
+        self._allocated = 0
+        self.entry_count = 0
+        root = self._new_page(leaf=True)  # page index 0 = the root
+        assert root == 0
+
+    # ------------------------------------------------------------------ #
+    # Page plumbing
+    # ------------------------------------------------------------------ #
+
+    def _lba(self, page_index: int) -> int:
+        return self.base_lba + page_index
+
+    def _new_page(self, leaf: bool) -> int:
+        if self._allocated >= self.max_pages:
+            raise PageFullError("B+-tree file exhausted")
+        page_index = self._allocated
+        self._allocated += 1
+        frame = self.manager.format_page(self._lba(page_index), self.file_id)
+        with self.manager.update(self._lba(page_index)) as page:
+            page.set_flags(FLAG_LEAF if leaf else 0)
+            self._set_next_leaf(page, _NO_LEAF)
+        self.manager.unpin(frame)
+        return page_index
+
+    @staticmethod
+    def _is_leaf(page: SlottedPage) -> bool:
+        return bool(page.flags & FLAG_LEAF)
+
+    @staticmethod
+    def _next_leaf(page: SlottedPage) -> int:
+        return int.from_bytes(page._buf[22:24], "little")
+
+    @staticmethod
+    def _set_next_leaf(page: SlottedPage, value: int) -> None:
+        page._write(22, value.to_bytes(2, "little"))
+
+    # ------------------------------------------------------------------ #
+    # Entry codecs
+    # ------------------------------------------------------------------ #
+
+    def _leaf_entry(self, key: int, value: bytes) -> bytes:
+        if len(value) != self.value_size:
+            raise ValueError(
+                f"value must be {self.value_size} bytes, got {len(value)}"
+            )
+        return _encode_key(key) + value
+
+    @staticmethod
+    def _internal_entry(separator: bytes, child: int) -> bytes:
+        return separator + child.to_bytes(_CHILD_SIZE, "little")
+
+    @staticmethod
+    def _entry_key(record: bytes) -> bytes:
+        return record[:_KEY_SIZE]
+
+    @staticmethod
+    def _entry_child(record: bytes) -> int:
+        return int.from_bytes(record[_KEY_SIZE : _KEY_SIZE + _CHILD_SIZE], "little")
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def _find_slot(self, page: SlottedPage, key_raw: bytes) -> tuple[int, bool]:
+        """Rightmost slot with key <= key_raw: (slot, exact_match).
+
+        Returns ``(-1, False)`` when every key exceeds ``key_raw``.
+        """
+        lo, hi = 0, page.slot_count - 1
+        result = -1
+        exact = False
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            mid_key = self._entry_key(page.read(mid))
+            if mid_key <= key_raw:
+                result = mid
+                exact = mid_key == key_raw
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return result, exact
+
+    def _descend(self, key_raw: bytes) -> list[int]:
+        """Root-to-leaf path of page indexes for a key."""
+        path = [0]
+        while True:
+            with self.manager.page(self._lba(path[-1])) as page:
+                if self._is_leaf(page):
+                    return path
+                slot, _exact = self._find_slot(page, key_raw)
+                if slot < 0:
+                    slot = 0  # leftmost child holds the -inf separator
+                child = self._entry_child(page.read(slot))
+            path.append(child)
+
+    def search(self, key: int) -> Optional[bytes]:
+        """Value stored under ``key``, or None."""
+        key_raw = _encode_key(key)
+        leaf_index = self._descend(key_raw)[-1]
+        with self.manager.page(self._lba(leaf_index)) as page:
+            slot, exact = self._find_slot(page, key_raw)
+            if exact:
+                return page.read(slot)[_KEY_SIZE:]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not None
+
+    def __len__(self) -> int:
+        return self.entry_count
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: int, value: bytes) -> None:
+        """Insert a new key (KeyError if present — use update)."""
+        key_raw = _encode_key(key)
+        entry = self._leaf_entry(key, value)
+        path = self._descend(key_raw)
+        leaf_index = path[-1]
+        with self.manager.update(self._lba(leaf_index)) as page:
+            slot, exact = self._find_slot(page, key_raw)
+            if exact:
+                raise KeyError(f"key {key} already present")
+            try:
+                page.insert_at(slot + 1, entry)
+                self.entry_count += 1
+                return
+            except PageFullError:
+                pass
+        self._split_and_insert(path, key_raw, entry)
+        self.entry_count += 1
+
+    def update(self, key: int, value: bytes) -> None:
+        """Overwrite the value of an existing key (a small in-place write).
+
+        Raises:
+            KeyNotFoundError: if the key is absent.
+        """
+        key_raw = _encode_key(key)
+        entry = self._leaf_entry(key, value)
+        leaf_index = self._descend(key_raw)[-1]
+        with self.manager.update(self._lba(leaf_index)) as page:
+            slot, exact = self._find_slot(page, key_raw)
+            if not exact:
+                raise KeyNotFoundError(key)
+            page.replace(slot, entry)
+
+    def delete(self, key: int) -> None:
+        """Remove a key (lazy: no rebalancing).
+
+        Raises:
+            KeyNotFoundError: if the key is absent.
+        """
+        key_raw = _encode_key(key)
+        leaf_index = self._descend(key_raw)[-1]
+        with self.manager.update(self._lba(leaf_index)) as page:
+            slot, exact = self._find_slot(page, key_raw)
+            if not exact:
+                raise KeyNotFoundError(key)
+            page.remove_at(slot)
+        self.entry_count -= 1
+
+    # ------------------------------------------------------------------ #
+    # Splits
+    # ------------------------------------------------------------------ #
+
+    def _split_and_insert(
+        self, path: list[int], key_raw: bytes, entry: bytes
+    ) -> None:
+        """Split the full leaf at ``path[-1]`` and insert ``entry``."""
+        pending_key = key_raw
+        pending_entry = entry
+        level = len(path) - 1
+        while True:
+            page_index = path[level]
+            split = self._split_node(page_index, pending_key, pending_entry)
+            if split is None:
+                return  # insert landed after the split
+            separator, new_child = split
+            if level == 0:
+                return  # root split already rewired inside _split_node
+            pending_key = separator
+            pending_entry = self._internal_entry(separator, new_child)
+            level -= 1
+            # Try plain insert into the parent first.
+            parent_index = path[level]
+            with self.manager.update(self._lba(parent_index)) as page:
+                slot, _exact = self._find_slot(page, separator)
+                try:
+                    page.insert_at(slot + 1, pending_entry)
+                    return
+                except PageFullError:
+                    pass  # loop: split the parent too
+
+    def _split_node(
+        self, page_index: int, key_raw: bytes, entry: bytes
+    ) -> Optional[tuple[bytes, int]]:
+        """Split one full node and insert the pending entry.
+
+        Returns (separator, new_page_index) to push into the parent, or
+        None if this was the root (handled internally).
+        """
+        lba = self._lba(page_index)
+        with self.manager.page(lba) as page:
+            is_leaf = self._is_leaf(page)
+            entries = [page.read(slot) for slot in range(page.slot_count)]
+            next_leaf = self._next_leaf(page) if is_leaf else _NO_LEAF
+
+        # Merge the pending entry into the sorted list.
+        position = 0
+        while position < len(entries) and self._entry_key(
+            entries[position]
+        ) <= key_raw:
+            position += 1
+        entries.insert(position, entry)
+        mid = len(entries) // 2
+        left_entries, right_entries = entries[:mid], entries[mid:]
+        separator = self._entry_key(right_entries[0])
+
+        if page_index == 0:
+            # Root split: children copy out, the root is rebuilt in place.
+            left_child = self._new_page(leaf=is_leaf)
+            right_child = self._new_page(leaf=is_leaf)
+            self._rewrite_node(left_child, left_entries, is_leaf,
+                               next_leaf=right_child if is_leaf else _NO_LEAF)
+            self._rewrite_node(right_child, right_entries, is_leaf,
+                               next_leaf=next_leaf)
+            min_key = b"\x00" * _KEY_SIZE
+            root_entries = [
+                self._internal_entry(min_key, left_child),
+                self._internal_entry(separator, right_child),
+            ]
+            self._rewrite_node(0, root_entries, leaf=False, next_leaf=_NO_LEAF)
+            return None
+
+        right_index = self._new_page(leaf=is_leaf)
+        self._rewrite_node(page_index, left_entries, is_leaf,
+                           next_leaf=right_index if is_leaf else _NO_LEAF)
+        self._rewrite_node(right_index, right_entries, is_leaf,
+                           next_leaf=next_leaf)
+        return separator, right_index
+
+    def _rewrite_node(
+        self, page_index: int, entries: list[bytes], leaf: bool, next_leaf: int
+    ) -> None:
+        """Reset a node page and fill it with the given entries."""
+        lba = self._lba(page_index)
+        with self.manager.update(lba) as page:
+            # Rebuild from a fresh image: drop all slots and records.
+            fresh = SlottedPage.fresh(
+                page.page_id, page.page_size, page.scheme, file_id=self.file_id
+            )
+            # Tracked bulk reset: the change tracker must see every byte,
+            # otherwise an eviction could take the delta path with pairs
+            # that miss part of the rewrite.
+            page._write(0, bytes(fresh._buf))
+            page.set_flags(FLAG_LEAF if leaf else 0)
+            self._set_next_leaf(page, next_leaf)
+            for record in entries:
+                page.insert(record)
+
+    # ------------------------------------------------------------------ #
+    # Bulk loading
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def bulk_load(
+        cls,
+        manager: StorageManager,
+        base_lba: int,
+        max_pages: int,
+        value_size: int,
+        items: list,
+        file_id: int = 99,
+        fill_fraction: float = 0.90,
+    ) -> "BPlusTree":
+        """Build a tree bottom-up from sorted ``(key, value)`` pairs.
+
+        Far cheaper than repeated :meth:`insert` for large backfills:
+        every page is written exactly once, pre-filled to
+        ``fill_fraction`` so early post-load inserts don't split
+        immediately.
+
+        Raises:
+            ValueError: if ``items`` is not sorted by strictly
+                increasing key.
+        """
+        tree = cls(manager, base_lba, max_pages, value_size, file_id=file_id)
+        if not items:
+            return tree
+        keys = [k for k, _v in items]
+        if any(b <= a for a, b in zip(keys, keys[1:])):
+            raise ValueError("bulk_load needs strictly increasing keys")
+
+        entries = [tree._leaf_entry(k, v) for k, v in items]
+        probe = SlottedPage.fresh(0, manager.page_size, manager.scheme)
+        entry_cost = len(entries[0]) + 4  # record + slot
+        per_leaf = max(int(probe.free_space * fill_fraction) // entry_cost, 1)
+
+        if len(entries) <= per_leaf:
+            # Single node: the root itself is the leaf.
+            with manager.update(tree._lba(0)) as page:
+                for entry in entries:
+                    page.insert(entry)
+            tree.entry_count = len(entries)
+            return tree
+
+        # Leaf level (pages 1..): filled left to right, chained.  Pages
+        # are allocated and filled in one buffer residency each, so every
+        # leaf reaches Flash exactly once; allocation is sequential, so
+        # the next leaf's index is known before it exists.
+        leaves: list[tuple[bytes, int]] = []  # (first key raw, page index)
+        chunks = [
+            entries[i : i + per_leaf] for i in range(0, len(entries), per_leaf)
+        ]
+        first_leaf = tree._allocated
+        for i, chunk in enumerate(chunks):
+            page_index = tree._new_page(leaf=True)
+            assert page_index == first_leaf + i
+            next_leaf = (
+                first_leaf + i + 1 if i + 1 < len(chunks) else _NO_LEAF
+            )
+            tree._rewrite_node(page_index, chunk, leaf=True, next_leaf=next_leaf)
+            leaves.append((tree._entry_key(chunk[0]), page_index))
+
+        # Internal levels, bottom-up, until one node's worth remains.
+        level = leaves
+        per_internal = max(
+            int(probe.free_space * fill_fraction)
+            // (_KEY_SIZE + _CHILD_SIZE + 4),
+            2,
+        )
+        min_key = b"\x00" * _KEY_SIZE
+        while len(level) > per_internal:
+            parents: list[tuple[bytes, int]] = []
+            for i in range(0, len(level), per_internal):
+                group = level[i : i + per_internal]
+                node_entries = [
+                    tree._internal_entry(min_key if j == 0 else key, child)
+                    for j, (key, child) in enumerate(group)
+                ]
+                page_index = tree._new_page(leaf=False)
+                tree._rewrite_node(
+                    page_index, node_entries, leaf=False, next_leaf=_NO_LEAF
+                )
+                parents.append((group[0][0], page_index))
+            level = parents
+
+        root_entries = [
+            tree._internal_entry(min_key if j == 0 else key, child)
+            for j, (key, child) in enumerate(level)
+        ]
+        tree._rewrite_node(0, root_entries, leaf=False, next_leaf=_NO_LEAF)
+        tree.entry_count = len(entries)
+        return tree
+
+    # ------------------------------------------------------------------ #
+    # Scans
+    # ------------------------------------------------------------------ #
+
+    def items(self) -> Iterator[tuple[int, bytes]]:
+        """All (key, value) pairs in key order (leaf chain walk)."""
+        # Find the leftmost leaf.
+        index = 0
+        while True:
+            with self.manager.page(self._lba(index)) as page:
+                if self._is_leaf(page):
+                    break
+                index = self._entry_child(page.read(0))
+        while index != _NO_LEAF:
+            with self.manager.page(self._lba(index)) as page:
+                for slot in range(page.slot_count):
+                    record = page.read(slot)
+                    yield _decode_key(self._entry_key(record)), record[_KEY_SIZE:]
+                index = self._next_leaf(page)
+
+    def range(self, low: int, high: int) -> Iterator[tuple[int, bytes]]:
+        """(key, value) pairs with low <= key <= high, in order."""
+        low_raw = _encode_key(low)
+        index = self._descend(low_raw)[-1]
+        while index != _NO_LEAF:
+            with self.manager.page(self._lba(index)) as page:
+                for slot in range(page.slot_count):
+                    record = page.read(slot)
+                    key = _decode_key(self._entry_key(record))
+                    if key < low:
+                        continue
+                    if key > high:
+                        return
+                    yield key, record[_KEY_SIZE:]
+                index = self._next_leaf(page)

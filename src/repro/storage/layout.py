@@ -1,0 +1,430 @@
+"""NSM slotted-page layout with a delta-record area (paper Figure 3).
+
+::
+
+    +--------------------------------------------------------------+
+    | header (24 B)                                                |
+    | tuple data  (grows upward)                                   |
+    |                     ... free space (erased, 0xFF) ...        |
+    | slot array  (grows downward from the delta area)             |
+    | delta-record area  (N x record_size bytes, erased when clean)|
+    | footer (8 B)                                                 |
+    +--------------------------------------------------------------+
+
+Two deliberate choices support IPA:
+
+* free space and the delta area are kept in the erased state (0xFF), so a
+  page image written to Flash leaves those cells unprogrammed and
+  therefore *appendable* later;
+* every mutation funnels through :meth:`SlottedPage._write`, which
+  reports ``(offset, old, new)`` to an attached change tracker — the
+  paper's "change tracking in the buffer [with] min. computational
+  overhead".
+
+Header fields (24 bytes):
+  magic(2) page_id(4) lsn(8) slot_count(2) free_lower(2) flags(2)
+  file_id(2) reserved(2)
+Footer fields (8 bytes):
+  checksum(4) page_type(2) reserved(2)
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Optional
+
+from repro.core.config import (
+    PAGE_FOOTER_SIZE,
+    PAGE_HEADER_SIZE,
+    IpaScheme,
+)
+
+MAGIC = 0x4E50  # "NP" — NSM page
+SLOT_SIZE = 4  # offset(2) + length(2)
+_ERASED = 0xFF
+
+#: Slot length value marking a deleted record.
+TOMBSTONE = 0
+
+
+class PageFullError(Exception):
+    """Not enough contiguous free space for the record plus its slot."""
+
+
+class PageCorruptError(Exception):
+    """Structural invariant violated (bad magic, bad checksum, bad slot)."""
+
+
+WriteHook = Callable[[int, bytes, bytes], None]
+
+
+class SlottedPage:
+    """A database page in the format of Figure 3.
+
+    Args:
+        buf: The page image (mutated in place).
+        scheme: IPA N x M scheme; determines the delta-area size.
+    """
+
+    def __init__(self, buf: bytearray, scheme: IpaScheme) -> None:
+        if len(buf) < PAGE_HEADER_SIZE + PAGE_FOOTER_SIZE + scheme.delta_area_size:
+            raise ValueError("buffer too small for layout")
+        self._buf = buf
+        self.scheme = scheme
+        self._hook: Optional[WriteHook] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def fresh(
+        cls,
+        page_id: int,
+        page_size: int,
+        scheme: IpaScheme,
+        file_id: int = 0,
+    ) -> "SlottedPage":
+        """Format a brand-new page: erased everywhere except the header."""
+        buf = bytearray([_ERASED]) * page_size
+        page = cls(buf, scheme)
+        header = bytearray(PAGE_HEADER_SIZE)
+        header[0:2] = MAGIC.to_bytes(2, "little")
+        header[2:6] = page_id.to_bytes(4, "little")
+        header[6:14] = (0).to_bytes(8, "little")  # lsn
+        header[14:16] = (0).to_bytes(2, "little")  # slot_count
+        header[16:18] = PAGE_HEADER_SIZE.to_bytes(2, "little")  # free_lower
+        header[18:20] = (0).to_bytes(2, "little")  # flags
+        header[20:22] = file_id.to_bytes(2, "little")
+        header[22:24] = (0).to_bytes(2, "little")
+        buf[0:PAGE_HEADER_SIZE] = header
+        footer = bytearray(PAGE_FOOTER_SIZE)
+        buf[page_size - PAGE_FOOTER_SIZE :] = footer
+        return page
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def page_size(self) -> int:
+        return len(self._buf)
+
+    @property
+    def footer_start(self) -> int:
+        return self.page_size - PAGE_FOOTER_SIZE
+
+    @property
+    def delta_start(self) -> int:
+        """First byte of the delta-record area (== end of the body)."""
+        return self.footer_start - self.scheme.delta_area_size
+
+    @property
+    def body_span(self) -> tuple[int, int]:
+        """Byte range delta-record pairs may target: tuples + slot array."""
+        return PAGE_HEADER_SIZE, self.delta_start
+
+    def _slot_pos(self, slot_no: int) -> int:
+        return self.delta_start - SLOT_SIZE * (slot_no + 1)
+
+    @property
+    def free_space(self) -> int:
+        """Contiguous bytes available for one more record (w/o its slot)."""
+        slot_bottom = self.delta_start - SLOT_SIZE * self.slot_count
+        space = slot_bottom - self.free_lower - SLOT_SIZE
+        return max(space, 0)
+
+    # ------------------------------------------------------------------ #
+    # Header / footer accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def magic(self) -> int:
+        return int.from_bytes(self._buf[0:2], "little")
+
+    @property
+    def page_id(self) -> int:
+        return int.from_bytes(self._buf[2:6], "little")
+
+    @property
+    def lsn(self) -> int:
+        return int.from_bytes(self._buf[6:14], "little")
+
+    def set_lsn(self, lsn: int) -> None:
+        """Stamp the page LSN (metadata — shipped via delta_metadata)."""
+        self._write(6, lsn.to_bytes(8, "little"))
+
+    @property
+    def slot_count(self) -> int:
+        return int.from_bytes(self._buf[14:16], "little")
+
+    @property
+    def free_lower(self) -> int:
+        return int.from_bytes(self._buf[16:18], "little")
+
+    @property
+    def flags(self) -> int:
+        return int.from_bytes(self._buf[18:20], "little")
+
+    def set_flags(self, flags: int) -> None:
+        self._write(18, flags.to_bytes(2, "little"))
+
+    @property
+    def file_id(self) -> int:
+        return int.from_bytes(self._buf[20:22], "little")
+
+    @property
+    def checksum(self) -> int:
+        return int.from_bytes(self._buf[self.footer_start : self.footer_start + 4], "little")
+
+    # ------------------------------------------------------------------ #
+    # Record operations
+    # ------------------------------------------------------------------ #
+
+    def insert(self, record: bytes) -> int:
+        """Append a record; returns its slot number.
+
+        Raises:
+            PageFullError: if record + slot do not fit.
+            ValueError: for empty records (indistinguishable from a
+                tombstone).
+        """
+        if not record:
+            raise ValueError("empty records are not supported")
+        if len(record) > self.free_space:
+            raise PageFullError(
+                f"{len(record)} B record, {self.free_space} B free"
+            )
+        slot_no = self.slot_count
+        offset = self.free_lower
+        self._write(offset, record)
+        slot_pos = self._slot_pos(slot_no)
+        self._write(slot_pos, offset.to_bytes(2, "little") + len(record).to_bytes(2, "little"))
+        self._write(16, (offset + len(record)).to_bytes(2, "little"))  # free_lower
+        self._write(14, (slot_no + 1).to_bytes(2, "little"))  # slot_count
+        return slot_no
+
+    def slot(self, slot_no: int) -> tuple[int, int]:
+        """(offset, length) of a slot; length == TOMBSTONE if deleted."""
+        if not 0 <= slot_no < self.slot_count:
+            raise IndexError(f"slot {slot_no} of {self.slot_count}")
+        pos = self._slot_pos(slot_no)
+        offset = int.from_bytes(self._buf[pos : pos + 2], "little")
+        length = int.from_bytes(self._buf[pos + 2 : pos + 4], "little")
+        return offset, length
+
+    def read(self, slot_no: int) -> bytes:
+        """Record bytes of a live slot.
+
+        Raises:
+            KeyError: if the slot was deleted.
+        """
+        offset, length = self.slot(slot_no)
+        if length == TOMBSTONE:
+            raise KeyError(f"slot {slot_no} is deleted")
+        return bytes(self._buf[offset : offset + length])
+
+    def update(self, slot_no: int, field_offset: int, data: bytes) -> None:
+        """Overwrite ``data`` at ``field_offset`` within the record.
+
+        This is the paper's "small in-place update": the page stays
+        byte-identical except for the changed bytes, which the change
+        tracker captures for the delta-record.
+        """
+        offset, length = self.slot(slot_no)
+        if length == TOMBSTONE:
+            raise KeyError(f"slot {slot_no} is deleted")
+        if field_offset < 0 or field_offset + len(data) > length:
+            raise ValueError(
+                f"update [{field_offset}, {field_offset + len(data)}) exceeds "
+                f"record length {length}"
+            )
+        self._write(offset + field_offset, data)
+
+    def insert_at(self, slot_no: int, record: bytes) -> None:
+        """Insert a record at a *position*, shifting later slots down.
+
+        Keeps the slot array positionally ordered — what B+-tree nodes
+        need.  The shifted slot entries are ordinary tracked writes, so
+        an insert is a large change (out-of-place on eviction), while
+        pure value updates stay delta-friendly.
+
+        Raises:
+            PageFullError: if record + slot do not fit.
+            IndexError: if ``slot_no`` is beyond the current count.
+        """
+        count = self.slot_count
+        if not 0 <= slot_no <= count:
+            raise IndexError(f"position {slot_no} of {count}")
+        if not record:
+            raise ValueError("empty records are not supported")
+        if len(record) > self.free_space:
+            raise PageFullError(
+                f"{len(record)} B record, {self.free_space} B free"
+            )
+        offset = self.free_lower
+        self._write(offset, record)
+        # Shift slots [slot_no, count) to [slot_no + 1, count + 1).
+        for j in range(count - 1, slot_no - 1, -1):
+            src = self._slot_pos(j)
+            self._write(self._slot_pos(j + 1), bytes(self._buf[src : src + 4]))
+        self._write(
+            self._slot_pos(slot_no),
+            offset.to_bytes(2, "little") + len(record).to_bytes(2, "little"),
+        )
+        self._write(16, (offset + len(record)).to_bytes(2, "little"))
+        self._write(14, (count + 1).to_bytes(2, "little"))
+
+    def remove_at(self, slot_no: int) -> None:
+        """Remove a slot *position*, shifting later slots up.
+
+        The record bytes are abandoned (reclaimed on page rebuild), but
+        the slot array stays dense and positionally ordered.
+        """
+        count = self.slot_count
+        if not 0 <= slot_no < count:
+            raise IndexError(f"position {slot_no} of {count}")
+        for j in range(slot_no + 1, count):
+            src = self._slot_pos(j)
+            self._write(self._slot_pos(j - 1), bytes(self._buf[src : src + 4]))
+        # Clear the vacated last slot and drop the count.
+        self._write(self._slot_pos(count - 1), b"\x00\x00\x00\x00")
+        self._write(14, (count - 1).to_bytes(2, "little"))
+
+    def replace(self, slot_no: int, record: bytes) -> None:
+        """Overwrite a slot's record with one of the SAME length.
+
+        Fixed-size B+-tree entries update in place; the changed bytes are
+        exactly the differing ones, so small key/value rewrites remain
+        IPA-conformant.
+        """
+        offset, length = self.slot(slot_no)
+        if length == TOMBSTONE:
+            raise KeyError(f"slot {slot_no} is deleted")
+        if len(record) != length:
+            raise ValueError(
+                f"replace needs {length} bytes, got {len(record)}"
+            )
+        self._write(offset, record)
+
+    def delete(self, slot_no: int) -> None:
+        """Tombstone a slot (space is reclaimed only by page rebuild)."""
+        offset, length = self.slot(slot_no)
+        if length == TOMBSTONE:
+            raise KeyError(f"slot {slot_no} already deleted")
+        pos = self._slot_pos(slot_no)
+        self._write(pos + 2, TOMBSTONE.to_bytes(2, "little"))
+
+    def compact(self) -> int:
+        """Rebuild the tuple area, reclaiming tombstoned records' space.
+
+        Slot numbers are preserved (RIDs stay valid); tombstoned slots
+        remain tombstones.  Returns the bytes reclaimed.  This rewrites
+        most of the body, so a compacted page always evicts out-of-place
+        — which is why heap files only compact when an insert would
+        otherwise fail.
+        """
+        live: list[tuple[int, bytes]] = []
+        for slot_no in range(self.slot_count):
+            _offset, length = self.slot(slot_no)
+            if length != TOMBSTONE:
+                live.append((slot_no, self.read(slot_no)))
+        old_free_lower = self.free_lower
+        cursor = PAGE_HEADER_SIZE
+        for slot_no, record in live:
+            self._write(cursor, record)
+            self._write(
+                self._slot_pos(slot_no),
+                cursor.to_bytes(2, "little") + len(record).to_bytes(2, "little"),
+            )
+            cursor += len(record)
+        # Erase the tail of the tuple area so it stays Flash-appendable.
+        if cursor < old_free_lower:
+            self._write(cursor, bytes([_ERASED]) * (old_free_lower - cursor))
+        self._write(16, cursor.to_bytes(2, "little"))  # free_lower
+        return old_free_lower - cursor
+
+    def has_tombstones(self) -> bool:
+        """True if any slot was deleted (compaction could reclaim space)."""
+        return any(
+            self.slot(s)[1] == TOMBSTONE for s in range(self.slot_count)
+        )
+
+    def live_records(self) -> list[tuple[int, bytes]]:
+        """(slot_no, bytes) of every non-deleted record."""
+        out = []
+        for slot_no in range(self.slot_count):
+            _offset, length = self.slot(slot_no)
+            if length != TOMBSTONE:
+                out.append((slot_no, self.read(slot_no)))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Delta area
+    # ------------------------------------------------------------------ #
+
+    def delta_area(self) -> bytes:
+        """The raw delta-record area bytes."""
+        return bytes(self._buf[self.delta_start : self.footer_start])
+
+    def reset_delta_area(self) -> None:
+        """Return the delta area to the erased state (out-of-place path).
+
+        Bypasses the write hook: resetting the area is part of composing
+        the out-image, not a tracked page modification.
+        """
+        for i in range(self.delta_start, self.footer_start):
+            self._buf[i] = _ERASED
+
+    # ------------------------------------------------------------------ #
+    # Integrity
+    # ------------------------------------------------------------------ #
+
+    def compute_checksum(self) -> int:
+        """CRC32 over header + body (everything before the delta area)."""
+        return zlib.crc32(bytes(self._buf[0 : self.delta_start])) & 0xFFFFFFFF
+
+    def store_checksum(self) -> None:
+        """Write the current checksum into the footer."""
+        self._write(self.footer_start, self.compute_checksum().to_bytes(4, "little"))
+
+    def verify_checksum(self) -> bool:
+        """True iff the stored footer checksum matches the content."""
+        return self.checksum == self.compute_checksum()
+
+    def validate(self) -> None:
+        """Cheap structural validation.
+
+        Raises:
+            PageCorruptError: bad magic or slots pointing outside the body.
+        """
+        if self.magic != MAGIC:
+            raise PageCorruptError(f"bad magic 0x{self.magic:04x}")
+        body_start, body_end = self.body_span
+        for slot_no in range(self.slot_count):
+            offset, length = self.slot(slot_no)
+            if length == TOMBSTONE:
+                continue
+            if offset < body_start or offset + length > body_end:
+                raise PageCorruptError(
+                    f"slot {slot_no} [{offset}, {offset + length}) outside body"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Raw access
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        """A copy of the full page image."""
+        return bytes(self._buf)
+
+    def set_write_hook(self, hook: Optional[WriteHook]) -> None:
+        """Attach/detach the change tracker's write observer."""
+        self._hook = hook
+
+    def _write(self, offset: int, data: bytes) -> None:
+        """All mutations go through here so the tracker sees every byte."""
+        old = bytes(self._buf[offset : offset + len(data)])
+        if self._hook is not None:
+            self._hook(offset, old, data)
+        self._buf[offset : offset + len(data)] = data

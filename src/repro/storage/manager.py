@@ -1,0 +1,378 @@
+"""Storage manager: fetch / modify / evict, and the device write policies.
+
+This is where the paper's three write strategies live:
+
+* :class:`TraditionalPolicy` — Demo-Scenario 1: every dirty eviction
+  writes the whole up-to-date page out-of-place ([0x0] in Table 1).
+* :class:`IpaBlockDevicePolicy` — Demo-Scenario 2: the DBMS composes
+  ``original body + delta-record area`` images and writes whole pages
+  over a block interface; an IPA-aware FTL detects the append.
+* :class:`IpaNativePolicy` — Demo-Scenario 3: the DBMS ships only the
+  delta-records via ``write_delta`` (NoFTL).
+
+The fetch path is shared: read the page image, apply its delta-records
+(:func:`repro.core.reconstruct.reconstruct`), verify the checksum, attach
+a fresh :class:`~repro.core.tracker.ChangeTracker`.
+"""
+
+from __future__ import annotations
+
+import abc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.config import (
+    PAGE_FOOTER_SIZE,
+    PAGE_HEADER_SIZE,
+    IpaScheme,
+)
+from repro.core.delta import DeltaRecord
+from repro.core.reconstruct import reconstruct
+from repro.core.tracker import ChangeTracker
+from repro.flash.latency import HostCostModel
+from repro.ftl.interface import FlashBackend
+from repro.storage.buffer import BufferPool, Frame
+from repro.storage.layout import PageCorruptError, SlottedPage
+
+
+@dataclass
+class ManagerStats:
+    """Eviction-path counters (DBMS side of Table 1)."""
+
+    ipa_flushes: int = 0
+    oop_flushes: int = 0
+    delta_records_written: int = 0
+    delta_bytes_written: int = 0
+    full_page_bytes_written: int = 0
+    ipa_fallbacks: int = 0  # device refused an append mid-flush
+    update_ops: int = 0
+    net_bytes_updated: int = 0
+    #: Per-file-id changed-byte sizes of update operations — raw material
+    #: for the region advisor (repro.analysis.advisor).
+    per_file_op_sizes: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.per_file_op_sizes is None:
+            self.per_file_op_sizes = {}
+
+
+def compose_append_image(
+    flash_image: bytes,
+    records: list[DeltaRecord],
+    scheme: IpaScheme,
+    start_slot: int,
+) -> bytes:
+    """The Scenario-2 out-image: Flash content + records in erased slots.
+
+    Because the original body bytes are byte-identical to the Flash copy
+    and the records land in erased slots, the transition is append-legal
+    and an IPA-aware device will program it in place.
+    """
+    buf = bytearray(flash_image)
+    footer_start = len(buf) - PAGE_FOOTER_SIZE
+    delta_start = footer_start - scheme.delta_area_size
+    for i, record in enumerate(records):
+        slot = start_slot + i
+        if slot >= scheme.n_records:
+            raise ValueError(f"slot {slot} exceeds N={scheme.n_records}")
+        offset = delta_start + slot * scheme.record_size
+        buf[offset : offset + scheme.record_size] = record.encode(scheme)
+    return bytes(buf)
+
+
+class WritePolicy(abc.ABC):
+    """Strategy deciding how a dirty frame reaches the device."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def flush(self, manager: "StorageManager", frame: Frame) -> None:
+        """Persist ``frame`` (must leave it consistent and clean-able)."""
+
+    def _write_full_page(self, manager: "StorageManager", frame: Frame) -> None:
+        """Shared out-of-place path: whole up-to-date page, delta area reset."""
+        page = frame.page
+        page.reset_delta_area()
+        page.store_checksum()
+        image = page.to_bytes()
+        manager.device.write_page(frame.lba, image)
+        manager.stats.oop_flushes += 1
+        manager.stats.full_page_bytes_written += len(image)
+        frame.flash_image = image
+        frame.flash_delta_count = 0
+        frame.tracker.reset_after_flush(0)
+
+
+class TraditionalPolicy(WritePolicy):
+    """Whole-page out-of-place writes; the [0x0] baseline."""
+
+    name = "traditional"
+
+    def flush(self, manager: "StorageManager", frame: Frame) -> None:
+        self._write_full_page(manager, frame)
+
+
+class _IpaPolicyBase(WritePolicy):
+    """Shared IPA eviction logic (Section 3, "Page operations")."""
+
+    def flush(self, manager: "StorageManager", frame: Frame) -> None:
+        tracker = frame.tracker
+        if (
+            frame.flash_image is None
+            or not tracker.ipa_eligible
+            or not tracker.dirty
+        ):
+            self._write_full_page(manager, frame)
+            return
+        page = frame.page
+        page.store_checksum()
+        current = page.to_bytes()
+        records = tracker.build_delta_records(
+            current[:PAGE_HEADER_SIZE], current[page.footer_start :]
+        )
+        if not records:
+            self._write_full_page(manager, frame)
+            return
+        if self._flush_records(manager, frame, records):
+            new_image = compose_append_image(
+                frame.flash_image,
+                records,
+                manager.scheme,
+                frame.flash_delta_count,
+            )
+            frame.flash_image = new_image
+            frame.flash_delta_count += len(records)
+            tracker.reset_after_flush(frame.flash_delta_count)
+            manager.stats.ipa_flushes += 1
+            manager.stats.delta_records_written += len(records)
+        else:
+            manager.stats.ipa_fallbacks += 1
+            self._write_full_page(manager, frame)
+
+    @abc.abstractmethod
+    def _flush_records(
+        self,
+        manager: "StorageManager",
+        frame: Frame,
+        records: list[DeltaRecord],
+    ) -> bool:
+        """Ship the records; False => caller falls back to a full write."""
+
+
+class IpaNativePolicy(_IpaPolicyBase):
+    """Demo-Scenario 3: ship only the delta bytes via write_delta."""
+
+    name = "ipa-native"
+
+    def _flush_records(
+        self,
+        manager: "StorageManager",
+        frame: Frame,
+        records: list[DeltaRecord],
+    ) -> bool:
+        scheme = manager.scheme
+        page = frame.page
+        delta_start = page.delta_start
+        for i, record in enumerate(records):
+            slot = frame.flash_delta_count + i
+            offset = delta_start + slot * scheme.record_size
+            payload = record.encode(scheme)
+            if not manager.device.write_delta(frame.lba, offset, payload):
+                return False
+            manager.stats.delta_bytes_written += len(payload)
+        return True
+
+
+class IpaBlockDevicePolicy(_IpaPolicyBase):
+    """Demo-Scenario 2: whole composed pages over a block interface.
+
+    The composed image is transferred in full (no DBMS write-amplification
+    saving) but the IPA-aware FTL programs it in place (full GC saving).
+    """
+
+    name = "ipa-blockdev"
+
+    def _flush_records(
+        self,
+        manager: "StorageManager",
+        frame: Frame,
+        records: list[DeltaRecord],
+    ) -> bool:
+        image = compose_append_image(
+            frame.flash_image,
+            records,
+            manager.scheme,
+            frame.flash_delta_count,
+        )
+        manager.device.write_page(frame.lba, image)
+        manager.stats.full_page_bytes_written += len(image)
+        return True
+
+
+class StorageManager:
+    """Owns the buffer pool and mediates all page access.
+
+    Args:
+        device: Any :class:`~repro.ftl.interface.FlashBackend`.
+        scheme: The IPA N x M scheme used for every page (use
+            :data:`~repro.core.config.IPA_DISABLED` for the baseline).
+        policy: The eviction write policy.
+        buffer_capacity: Buffer pool size in frames.
+        host_costs: CPU-side latency charges.
+        verify_checksums: Verify page checksums on fetch (catches IPA
+            reconstruction bugs; on by default).
+        replacement: Buffer replacement policy, "lru" or "clock".
+    """
+
+    def __init__(
+        self,
+        device: FlashBackend,
+        scheme: IpaScheme,
+        policy: WritePolicy,
+        buffer_capacity: int = 128,
+        host_costs: HostCostModel | None = None,
+        verify_checksums: bool = True,
+        replacement: str = "lru",
+    ) -> None:
+        self.device = device
+        self.scheme = scheme
+        self.policy = policy
+        self.host_costs = host_costs or HostCostModel()
+        self.verify_checksums = verify_checksums
+        self.clock = device.chip.clock
+        self.stats = ManagerStats()
+        self.pool = BufferPool(
+            buffer_capacity, self._flush, replacement=replacement
+        )
+        self._next_lsn = 1
+        self._next_file_lba = 0
+        #: Optional write-ahead log (see :mod:`repro.engine.wal`): when
+        #: attached, every update operation and page format is logged.
+        self.wal = None
+
+    @property
+    def page_size(self) -> int:
+        return self.device.chip.geometry.page_size
+
+    # ------------------------------------------------------------------ #
+    # Page lifecycle
+    # ------------------------------------------------------------------ #
+
+    def format_page(self, lba: int, file_id: int = 0) -> Frame:
+        """Create a brand-new (never-persisted) page; returns it pinned."""
+        if lba in self.pool:
+            raise ValueError(f"lba {lba} already resident")
+        if self.wal is not None:
+            self.wal.log_format(self._take_lsn(), lba, file_id)
+        page = SlottedPage.fresh(lba, self.page_size, self.scheme, file_id=file_id)
+        tracker = ChangeTracker(
+            self.scheme, 0, PAGE_HEADER_SIZE, page.delta_start
+        )
+        page.set_write_hook(tracker.on_write)
+        frame = Frame(lba, page, tracker, flash_image=None, flash_delta_count=0)
+        self.pool.insert(frame)
+        frame.pin()
+        return frame
+
+    def fetch(self, lba: int) -> Frame:
+        """Pin and return the frame for ``lba``, reading it if absent."""
+        self.pool.stats.fetches += 1
+        frame = self.pool.get(lba)
+        if frame is not None:
+            self.pool.stats.hits += 1
+            self.clock.advance(self.host_costs.per_buffer_hit_us, "host")
+            frame.pin()
+            return frame
+        self.pool.stats.misses += 1
+        image = self.device.read_page(lba)
+        page_buf, k = reconstruct(image, self.scheme)
+        page = SlottedPage(page_buf, self.scheme)
+        if self.verify_checksums and not page.verify_checksum():
+            raise PageCorruptError(
+                f"checksum mismatch on lba {lba} after reconstruction "
+                f"({k} delta-records applied)"
+            )
+        tracker = ChangeTracker(
+            self.scheme, k, PAGE_HEADER_SIZE, page.delta_start
+        )
+        page.set_write_hook(tracker.on_write)
+        frame = Frame(lba, page, tracker, flash_image=image, flash_delta_count=k)
+        self.pool.insert(frame)
+        frame.pin()
+        return frame
+
+    def unpin(self, frame: Frame) -> None:
+        """Release a pin taken by :meth:`fetch` / :meth:`format_page`."""
+        frame.unpin()
+
+    @contextmanager
+    def page(self, lba: int) -> Iterator[SlottedPage]:
+        """Read-only access: ``with manager.page(lba) as p: ...``."""
+        frame = self.fetch(lba)
+        try:
+            yield frame.page
+        finally:
+            frame.unpin()
+
+    @contextmanager
+    def update(self, lba: int) -> Iterator[SlottedPage]:
+        """One update operation == one candidate delta-record.
+
+        Stamps a fresh LSN and closes the tracker bracket on exit.
+        """
+        frame = self.fetch(lba)
+        ops_before = len(frame.tracker.op_sizes)
+        frame.tracker.begin_op()
+        lsn = 0
+        try:
+            yield frame.page
+            lsn = self._take_lsn()
+            frame.page.set_lsn(lsn)
+        finally:
+            frame.tracker.end_op()
+            if len(frame.tracker.op_sizes) > ops_before:
+                self.stats.per_file_op_sizes.setdefault(
+                    frame.page.file_id, []
+                ).append(frame.tracker.op_sizes[-1])
+            if self.wal is not None and lsn:
+                self.wal.log_update(lsn, lba, frame.tracker.last_op_changes)
+            frame.mark_dirty()
+            self.stats.update_ops += 1
+            self.clock.advance(self.host_costs.ipa_tracking_us, "host")
+            frame.unpin()
+
+    def flush_all(self) -> None:
+        """Checkpoint: push every dirty frame to the device."""
+        self.pool.flush_all()
+
+    # ------------------------------------------------------------------ #
+    # File-space allocation (flat, contiguous)
+    # ------------------------------------------------------------------ #
+
+    def allocate_lba_range(self, n_pages: int) -> tuple[int, int]:
+        """Reserve the next ``n_pages`` LBAs; returns (base, end)."""
+        base = self._next_file_lba
+        end = base + n_pages
+        if end > self.device.logical_pages:
+            raise ValueError(
+                f"file of {n_pages} pages exceeds device capacity "
+                f"({self.device.logical_pages} LBAs, {base} used)"
+            )
+        self._next_file_lba = end
+        return base, end
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _take_lsn(self) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        return lsn
+
+    def _flush(self, frame: Frame) -> None:
+        # Account net change before the policy resets the tracker.
+        self.stats.net_bytes_updated += len(frame.tracker.net_changed_offsets)
+        self.policy.flush(self, frame)
+        frame.dirty = False

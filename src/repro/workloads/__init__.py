@@ -1,0 +1,33 @@
+"""OLTP workload generators.
+
+Scaled-down but structurally faithful versions of the benchmarks the
+paper evaluates (TPC-B, TPC-C, TATP) plus the LinkBench-like social
+workload its Section 1 analysis mentions.  Each module exposes a
+``Workload`` subclass with ``build(db, rng)`` (schema + load) and
+``transaction(db, rng)`` (one transaction from the standard mix).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.linkbench import LinkBenchWorkload
+from repro.workloads.tatp import TatpWorkload
+from repro.workloads.tpcb import TpcbWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.ycsb import YcsbWorkload
+
+WORKLOADS = {
+    "tpcb": TpcbWorkload,
+    "tpcc": TpccWorkload,
+    "tatp": TatpWorkload,
+    "linkbench": LinkBenchWorkload,
+    "ycsb": YcsbWorkload,
+}
+
+__all__ = [
+    "LinkBenchWorkload",
+    "TatpWorkload",
+    "TpcbWorkload",
+    "TpccWorkload",
+    "Workload",
+    "WORKLOADS",
+    "YcsbWorkload",
+]

@@ -1,0 +1,63 @@
+"""Workload contract and shared random helpers."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.storage.layout import SLOT_SIZE, SlottedPage
+
+
+def rows_per_page(db: Database, record_size: int) -> int:
+    """Records of ``record_size`` bytes fitting one page *under the active
+    IPA scheme* (the delta area shrinks the usable body, so capacity must
+    be computed from an actual formatted page, not a guessed margin)."""
+    page = SlottedPage.fresh(0, db.manager.page_size, db.manager.scheme)
+    return max(page.free_space // (record_size + SLOT_SIZE), 1)
+
+
+def pages_for_rows(db: Database, rows: int, record_size: int) -> int:
+    """Heap-file page budget for ``rows`` records, with slack."""
+    per_page = rows_per_page(db, record_size)
+    return rows // per_page + 2
+
+
+class Workload(abc.ABC):
+    """One benchmark: schema, initial load, and a transaction mix.
+
+    Subclasses are configured at construction (scale factor etc.) and are
+    stateless across runs except for generator cursors (next history id,
+    next order id, ...), which ``build`` resets.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def build(self, db: Database, rng: np.random.Generator) -> None:
+        """Create tables and load the initial population."""
+
+    @abc.abstractmethod
+    def transaction(self, db: Database, rng: np.random.Generator) -> str:
+        """Run one transaction from the standard mix; returns its type."""
+
+    @abc.abstractmethod
+    def estimate_pages(self, page_size: int) -> int:
+        """Rough page budget the load needs (for capacity planning)."""
+
+
+def nurand(rng: np.random.Generator, a: int, x: int, y: int) -> int:
+    """TPC-C NURand(A, x, y) non-uniform random (C = 0)."""
+    return (
+        (int(rng.integers(0, a + 1)) | int(rng.integers(x, y + 1)))
+        % (y - x + 1)
+    ) + x
+
+
+def zipf_index(rng: np.random.Generator, n: int, theta: float = 1.2) -> int:
+    """Zipf-ish index in [0, n): bounded draw for skewed access."""
+    while True:
+        draw = int(rng.zipf(theta))
+        if draw <= n:
+            return draw - 1

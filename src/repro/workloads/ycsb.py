@@ -1,0 +1,121 @@
+"""YCSB core workloads (A, B, C, F) — a cloud-serving style generator.
+
+Not evaluated in the paper, but the de-facto standard for storage-engine
+benchmarking; included so downstream users can stress IPA with the
+read/update mixes they already reason in:
+
+* **A** — update heavy: 50 % reads / 50 % updates;
+* **B** — read mostly: 95 % reads / 5 % updates;
+* **C** — read only;
+* **F** — read-modify-write: 50 % reads / 50 % RMW.
+
+Records are the classic "usertable": one integer key plus ``field_count``
+fixed-width fields; an update rewrites ONE randomly chosen field, which
+on fixed offsets is exactly the small in-place update IPA targets.
+Access is Zipfian (the YCSB default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.workloads.base import Workload, pages_for_rows, zipf_index
+
+MIXES = {
+    "a": {"read": 0.50, "update": 0.50, "rmw": 0.0},
+    "b": {"read": 0.95, "update": 0.05, "rmw": 0.0},
+    "c": {"read": 1.00, "update": 0.00, "rmw": 0.0},
+    "f": {"read": 0.50, "update": 0.00, "rmw": 0.50},
+}
+
+
+class YcsbWorkload(Workload):
+    """YCSB usertable with a configurable core mix.
+
+    Args:
+        records: Usertable size.
+        mix: One of "a", "b", "c", "f".
+        field_count: Fields per record.
+        field_size: Bytes per field.
+        zipfian: Use Zipfian key popularity (YCSB default) vs uniform.
+    """
+
+    name = "ycsb"
+
+    def __init__(
+        self,
+        records: int = 2000,
+        mix: str = "a",
+        field_count: int = 10,
+        field_size: int = 10,
+        zipfian: bool = True,
+    ) -> None:
+        if records < 10:
+            raise ValueError("need at least 10 records")
+        if mix not in MIXES:
+            raise ValueError(f"mix must be one of {sorted(MIXES)}")
+        self.records = records
+        self.mix = mix
+        self.field_count = field_count
+        self.field_size = field_size
+        self.zipfian = zipfian
+        self.name = f"ycsb-{mix}"
+        self._schema = Schema(
+            [Column("key", ColumnType.INT64)]
+            + [
+                Column(f"field{i}", ColumnType.CHAR, field_size)
+                for i in range(field_count)
+            ]
+        )
+
+    def estimate_pages(self, page_size: int) -> int:
+        per_page = max(page_size // (self._schema.record_size + 8), 1)
+        return self.records // per_page + 16
+
+    def build(self, db: Database, rng: np.random.Generator) -> None:
+        table = db.create_table(
+            "usertable",
+            self._schema,
+            pages_for_rows(db, self.records, self._schema.record_size),
+            pk="key",
+        )
+        for key in range(self.records):
+            row = {"key": key}
+            for i in range(self.field_count):
+                row[f"field{i}"] = _value(rng, self.field_size)
+            table.insert(row)
+        db.checkpoint()
+
+    def _pick_key(self, rng: np.random.Generator) -> int:
+        if self.zipfian:
+            return zipf_index(rng, self.records)
+        return int(rng.integers(0, self.records))
+
+    def transaction(self, db: Database, rng: np.random.Generator) -> str:
+        probabilities = MIXES[self.mix]
+        roll = rng.random()
+        table = db.table("usertable")
+        key = self._pick_key(rng)
+        if roll < probabilities["read"]:
+            with db.begin("read"):
+                table.get(key)
+            return "read"
+        if roll < probabilities["read"] + probabilities["update"]:
+            with db.begin("update"):
+                field = f"field{int(rng.integers(0, self.field_count))}"
+                table.update_field(key, field, _value(rng, self.field_size))
+            return "update"
+        with db.begin("rmw"):
+            row = table.get(key)
+            field = f"field{int(rng.integers(0, self.field_count))}"
+            current = row[field]
+            mutated = (current[:-1] + "z") if current else "z"
+            table.update_field(key, field, mutated[: self.field_size])
+        return "rmw"
+
+
+def _value(rng: np.random.Generator, size: int) -> str:
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    return "".join(letters[int(i) % 26] for i in rng.integers(0, 26, size))

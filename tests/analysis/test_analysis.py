@@ -1,0 +1,115 @@
+"""Analysis helpers: update-size stats, write amplification, longevity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.longevity import (
+    LongevityEstimate,
+    estimate_longevity,
+    lifetime_ratio,
+)
+from repro.analysis.update_sizes import analyze_update_sizes
+from repro.analysis.write_amplification import write_amplification
+from repro.bench.harness import ExperimentResult
+
+
+def result_stub(**overrides) -> ExperimentResult:
+    base = dict(
+        config_label="stub",
+        workload="stub",
+        transactions=1000,
+        elapsed_s=1.0,
+        tps=1000.0,
+        host_reads=0,
+        host_writes=100,
+        host_page_writes=100,
+        host_delta_writes=0,
+        host_bytes_written=100 * 8192,
+        host_bytes_read=0,
+        page_invalidations=0,
+        in_place_appends=0,
+        out_of_place_writes=100,
+        gc_page_migrations=20,
+        gc_erases=10,
+        migrations_per_host_write=0.2,
+        erases_per_host_write=0.1,
+        flash_programs=120,
+        flash_reprograms=0,
+        flash_erases=10,
+        buffer_hit_rate=0.9,
+        dirty_evictions=100,
+        ipa_flushes=0,
+        oop_flushes=100,
+        net_bytes_updated=10_000,
+    )
+    base.update(overrides)
+    return ExperimentResult(**base)
+
+
+class TestUpdateSizes:
+    def test_small_updates_detected(self):
+        report = analyze_update_sizes([5, 10, 50, 90, 200, 3, 8])
+        assert report.samples == 7
+        assert report.fraction_under_100b == pytest.approx(6 / 7)
+        assert report.meets_paper_claim()
+
+    def test_large_updates(self):
+        report = analyze_update_sizes([500] * 10)
+        assert report.fraction_under_100b == 0.0
+        assert not report.meets_paper_claim()
+
+    def test_histogram_partitions_everything(self):
+        data = list(range(0, 5000, 7))
+        report = analyze_update_sizes(data)
+        assert sum(count for _label, count, _f in report.histogram) == len(data)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_update_sizes([])
+
+    @given(st.lists(st.integers(min_value=0, max_value=8192), min_size=1))
+    def test_statistics_consistent(self, data):
+        report = analyze_update_sizes(data)
+        assert 0.0 <= report.fraction_under_100b <= 1.0
+        assert report.median_bytes <= report.p90_bytes or len(set(data)) == 1
+        assert min(data) <= report.mean_bytes <= max(data)
+
+
+class TestWriteAmplification:
+    def test_dbms_wa(self):
+        result = result_stub(host_bytes_written=819200, net_bytes_updated=10_000)
+        report = write_amplification(result)
+        assert report.dbms_wa == pytest.approx(81.92)
+
+    def test_device_wa_includes_migrations(self):
+        result = result_stub()
+        report = write_amplification(result)
+        # 20 migrated pages on top of 100 host pages => 1.2x device WA.
+        assert report.device_wa == pytest.approx(1.2)
+
+    def test_explicit_flash_bytes(self):
+        result = result_stub()
+        report = write_amplification(result, flash_bytes_programmed=2 * 100 * 8192)
+        assert report.device_wa == pytest.approx(2.0)
+
+
+class TestLongevity:
+    def test_estimate(self):
+        est = estimate_longevity(result_stub(), endurance_cycles=3000)
+        assert isinstance(est, LongevityEstimate)
+        assert est.erases_per_txn == pytest.approx(0.01)
+        assert est.txns_per_block_lifetime == pytest.approx(300_000)
+
+    def test_no_erases_is_infinite(self):
+        est = estimate_longevity(result_stub(gc_erases=0))
+        assert est.txns_per_block_lifetime == float("inf")
+
+    def test_lifetime_ratio_doubles_with_half_erases(self):
+        base = result_stub(gc_erases=20)
+        ipa = result_stub(gc_erases=10)
+        assert lifetime_ratio(ipa, base) == pytest.approx(2.0)
+
+    def test_zero_transactions_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_longevity(result_stub(transactions=0))

@@ -1,0 +1,19 @@
+"""The EXPERIMENTS.md generator end-to-end (fast settings)."""
+
+import pytest
+
+from repro.bench.run_all import generate
+
+
+@pytest.mark.slow
+def test_generate_fast_report():
+    report = generate(fast=True)
+    # Every experiment section present.
+    for section in (
+        "E1 —", "E2 —", "E3 —", "E4 —", "E5 —", "E6 —", "E7 —", "E8 —",
+        "A1 —", "A2 —", "A3 —", "A4 —", "E10", "E11",
+    ):
+        assert section in report, section
+    # Paper references included for reviewers.
+    assert "Paper reference" in report
+    assert "[2x4]" in report

@@ -1,0 +1,54 @@
+"""N x M scheme arithmetic (paper Section 3)."""
+
+import pytest
+
+from repro.core.config import (
+    DELTA_METADATA_SIZE,
+    IPA_DISABLED,
+    PAGE_FOOTER_SIZE,
+    PAGE_HEADER_SIZE,
+    SCHEME_2X4,
+    IpaScheme,
+)
+
+
+class TestIpaScheme:
+    def test_paper_formula(self):
+        # Delta-record area size = N x (1 + 3M + delta_metadata).
+        for n in (1, 2, 4, 8):
+            for m in (1, 4, 8):
+                scheme = IpaScheme(n, m)
+                assert scheme.delta_area_size == n * (1 + 3 * m + DELTA_METADATA_SIZE)
+
+    def test_record_size(self):
+        assert SCHEME_2X4.record_size == 1 + 12 + DELTA_METADATA_SIZE
+
+    def test_metadata_is_header_plus_footer(self):
+        assert DELTA_METADATA_SIZE == PAGE_HEADER_SIZE + PAGE_FOOTER_SIZE
+
+    def test_disabled_scheme(self):
+        assert not IPA_DISABLED.enabled
+        assert IPA_DISABLED.delta_area_size == 0
+        assert IPA_DISABLED.record_size == 0
+        assert str(IPA_DISABLED) == "[0x0]"
+
+    def test_paper_scheme_label(self):
+        assert str(SCHEME_2X4) == "[2x4]"
+        assert SCHEME_2X4.n_records == 2
+        assert SCHEME_2X4.m_bytes == 4
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            IpaScheme(16, 4)
+        with pytest.raises(ValueError):
+            IpaScheme(2, 16)
+        with pytest.raises(ValueError):
+            IpaScheme(0, 4)
+        with pytest.raises(ValueError):
+            IpaScheme(2, 0)
+        with pytest.raises(ValueError):
+            IpaScheme(-1, -1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SCHEME_2X4.n_records = 3

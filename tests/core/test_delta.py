@@ -1,0 +1,146 @@
+"""Delta-record wire format: encode/decode round trips and flash-legality."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    PAGE_FOOTER_SIZE,
+    PAGE_HEADER_SIZE,
+    IpaScheme,
+    SCHEME_2X4,
+)
+from repro.core.delta import (
+    DeltaFormatError,
+    DeltaRecord,
+    decode_delta_area,
+)
+from repro.flash.cellmodel import slc_transition_legal
+
+HEADER = bytes(range(PAGE_HEADER_SIZE))
+FOOTER = bytes(range(PAGE_FOOTER_SIZE))
+
+
+def record(pairs):
+    return DeltaRecord(pairs=pairs, meta_header=HEADER, meta_footer=FOOTER)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        rec = record([(100, 0x11), (205, 0x22)])
+        buf = rec.encode(SCHEME_2X4)
+        assert len(buf) == SCHEME_2X4.record_size
+        back = DeltaRecord.decode(buf, SCHEME_2X4)
+        assert back.pairs == [(100, 0x11), (205, 0x22)]
+        assert back.meta_header == HEADER
+        assert back.meta_footer == FOOTER
+
+    def test_empty_pairs_round_trip(self):
+        # Metadata-only delta-record (LSN bump without body change).
+        rec = record([])
+        back = DeltaRecord.decode(rec.encode(SCHEME_2X4), SCHEME_2X4)
+        assert back.pairs == []
+        assert back.meta_header == HEADER
+
+    def test_erased_slot_decodes_none(self):
+        erased = b"\xff" * SCHEME_2X4.record_size
+        assert DeltaRecord.decode(erased, SCHEME_2X4) is None
+
+    def test_too_many_pairs_rejected(self):
+        rec = record([(i, 0) for i in range(5)])  # M = 4
+        with pytest.raises(DeltaFormatError):
+            rec.encode(SCHEME_2X4)
+
+    def test_offset_out_of_16bit_rejected(self):
+        with pytest.raises(DeltaFormatError):
+            record([(0xFFFF, 0)]).encode(SCHEME_2X4)
+
+    def test_bad_metadata_size_rejected(self):
+        rec = DeltaRecord(pairs=[], meta_header=b"short", meta_footer=FOOTER)
+        with pytest.raises(DeltaFormatError):
+            rec.encode(SCHEME_2X4)
+
+    def test_disabled_scheme_cannot_encode(self):
+        with pytest.raises(DeltaFormatError):
+            record([]).encode(IpaScheme(0, 0))
+
+    def test_corrupt_control_byte_rejected(self):
+        buf = bytearray(record([]).encode(SCHEME_2X4))
+        buf[0] = 0x99  # wrong tag nibble
+        with pytest.raises(DeltaFormatError):
+            DeltaRecord.decode(bytes(buf), SCHEME_2X4)
+
+    def test_wrong_size_buffer_rejected(self):
+        with pytest.raises(DeltaFormatError):
+            DeltaRecord.decode(b"\x00" * 10, SCHEME_2X4)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0xFFFE),
+                st.integers(min_value=0, max_value=0xFF),
+            ),
+            max_size=4,
+            unique_by=lambda p: p[0],
+        )
+    )
+    def test_round_trip_property(self, pairs):
+        rec = record(pairs)
+        back = DeltaRecord.decode(rec.encode(SCHEME_2X4), SCHEME_2X4)
+        assert back.pairs == pairs
+
+
+class TestFlashLegality:
+    """Encoded records must be appendable into erased slots — the whole
+    point of the format (control byte reachable from 0xFF, etc.)."""
+
+    def test_record_programs_into_erased_slot(self):
+        erased = b"\xff" * SCHEME_2X4.record_size
+        encoded = record([(50, 0xAB)]).encode(SCHEME_2X4)
+        assert slc_transition_legal(erased, encoded)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0xFFFE),
+                st.integers(min_value=0, max_value=0xFF),
+            ),
+            max_size=4,
+            unique_by=lambda p: p[0],
+        )
+    )
+    def test_any_record_appendable_property(self, pairs):
+        erased = b"\xff" * SCHEME_2X4.record_size
+        assert slc_transition_legal(erased, record(pairs).encode(SCHEME_2X4))
+
+
+class TestDecodeDeltaArea:
+    def test_empty_area(self):
+        area = b"\xff" * SCHEME_2X4.delta_area_size
+        assert decode_delta_area(area, SCHEME_2X4) == []
+
+    def test_one_record(self):
+        rec = record([(99, 1)])
+        area = rec.encode(SCHEME_2X4) + b"\xff" * SCHEME_2X4.record_size
+        out = decode_delta_area(area, SCHEME_2X4)
+        assert len(out) == 1
+        assert out[0].pairs == [(99, 1)]
+
+    def test_two_records_in_order(self):
+        r1 = record([(10, 1)])
+        r2 = record([(20, 2)])
+        area = r1.encode(SCHEME_2X4) + r2.encode(SCHEME_2X4)
+        out = decode_delta_area(area, SCHEME_2X4)
+        assert [r.pairs for r in out] == [[(10, 1)], [(20, 2)]]
+
+    def test_stops_at_first_erased_slot(self):
+        r2 = record([(20, 2)])
+        area = b"\xff" * SCHEME_2X4.record_size + r2.encode(SCHEME_2X4)
+        assert decode_delta_area(area, SCHEME_2X4) == []
+
+    def test_disabled_scheme_yields_nothing(self):
+        assert decode_delta_area(b"", IpaScheme(0, 0)) == []
+
+    def test_wrong_area_size_rejected(self):
+        with pytest.raises(DeltaFormatError):
+            decode_delta_area(b"\xff" * 10, SCHEME_2X4)

@@ -1,0 +1,207 @@
+"""Change tracker: the N x M conformance rules of Section 3."""
+
+import pytest
+
+from repro.core.config import IpaScheme, SCHEME_2X4
+from repro.core.tracker import ChangeTracker
+
+HEADER_END = 24
+BODY_END = 900
+
+
+def make_tracker(scheme=SCHEME_2X4, existing=0):
+    return ChangeTracker(scheme, existing, HEADER_END, BODY_END)
+
+
+def write(tracker, offset, old, new):
+    tracker.on_write(offset, old, new)
+
+
+class TestOperationTracking:
+    def test_small_update_becomes_one_record(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\x00\x00", b"\x01\x02")
+        t.end_op()
+        assert len(t.records) == 1
+        assert t.records[0] == {100: 1, 101: 2}
+        assert not t.out_of_place
+
+    def test_unchanged_bytes_not_counted(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\xaa\xbb\xcc\xdd\xee", b"\xaa\xbb\xcc\xdd\xff")
+        t.end_op()
+        assert t.records[0] == {104: 0xFF}
+
+    def test_exceeding_m_flags_out_of_place(self):
+        t = make_tracker()  # M = 4
+        t.begin_op()
+        write(t, 100, b"\x00" * 5, b"\x01" * 5)
+        t.end_op()
+        assert t.out_of_place
+        assert t.records == []
+
+    def test_exceeding_n_flags_out_of_place(self):
+        t = make_tracker()  # N = 2
+        for i in range(2):
+            t.begin_op()
+            write(t, 100 + i, b"\x00", b"\x01")
+            t.end_op()
+        assert len(t.records) == 2
+        t.begin_op()
+        write(t, 200, b"\x00", b"\x01")
+        t.end_op()
+        assert t.out_of_place
+
+    def test_existing_records_count_against_n(self):
+        t = make_tracker(existing=1)  # 1 on flash + N=2 => 1 more allowed
+        t.begin_op()
+        write(t, 100, b"\x00", b"\x01")
+        t.end_op()
+        assert len(t.records) == 1
+        t.begin_op()
+        write(t, 101, b"\x00", b"\x01")
+        t.end_op()
+        assert t.out_of_place
+
+    def test_rewrite_same_byte_coalesces_within_op(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\x00", b"\x01")
+        write(t, 100, b"\x01", b"\x02")
+        t.end_op()
+        assert t.records[0] == {100: 2}
+
+    def test_no_change_op_produces_no_record(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\x55", b"\x55")
+        t.end_op()
+        assert t.records == []
+
+    def test_untracked_body_write_flags_out_of_place(self):
+        # Body change outside begin/end (bulk load path).
+        t = make_tracker()
+        write(t, 100, b"\x00", b"\x01")
+        assert t.out_of_place
+
+    def test_once_out_of_place_stays(self):
+        # Paper: "further updates are not tracked until eviction".
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\x00" * 5, b"\x01" * 5)
+        t.end_op()
+        t.begin_op()
+        write(t, 200, b"\x00", b"\x01")
+        t.end_op()
+        assert t.out_of_place
+        assert t.records == []
+
+    def test_nested_ops_rejected(self):
+        t = make_tracker()
+        t.begin_op()
+        with pytest.raises(RuntimeError):
+            t.begin_op()
+
+
+class TestMetadataHandling:
+    def test_header_bytes_free_of_charge(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, 6, b"\x00" * 8, b"\x01" * 8)  # 8-byte LSN in the header
+        write(t, 100, b"\x00", b"\x01")
+        t.end_op()
+        assert not t.out_of_place
+        assert t.records[0] == {100: 1}
+        assert t.meta_changed
+
+    def test_footer_bytes_free_of_charge(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, BODY_END + 2, b"\x00\x00\x00\x00", b"\x01\x02\x03\x04")
+        t.end_op()
+        assert not t.out_of_place
+        assert t.records == []
+        assert t.meta_changed
+
+    def test_meta_only_dirty_is_ipa_eligible(self):
+        t = make_tracker()
+        write(t, 6, b"\x00", b"\x01")  # outside any op: header is still fine
+        assert t.meta_changed
+        assert not t.out_of_place
+        assert t.ipa_eligible
+        recs = t.build_delta_records(b"H" * 24, b"F" * 8)
+        assert len(recs) == 1
+        assert recs[0].pairs == []
+
+
+class TestEligibilityAndBuild:
+    def test_eligible_within_budget(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\x00", b"\x01")
+        t.end_op()
+        assert t.ipa_eligible
+
+    def test_not_eligible_when_out_of_place(self):
+        t = make_tracker()
+        write(t, 100, b"\x00", b"\x01")
+        assert not t.ipa_eligible
+
+    def test_not_eligible_for_disabled_scheme(self):
+        t = make_tracker(scheme=IpaScheme(0, 0))
+        assert not t.ipa_eligible
+
+    def test_build_records_carries_final_meta(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\x00", b"\x01")
+        t.end_op()
+        t.begin_op()
+        write(t, 200, b"\x00", b"\x02")
+        t.end_op()
+        recs = t.build_delta_records(b"H" * 24, b"F" * 8)
+        assert len(recs) == 2
+        assert all(r.meta_header == b"H" * 24 for r in recs)
+        assert recs[0].pairs == [(100, 1)]
+        assert recs[1].pairs == [(200, 2)]
+
+    def test_build_raises_when_out_of_place(self):
+        t = make_tracker()
+        write(t, 100, b"\x00", b"\x01")
+        with pytest.raises(RuntimeError):
+            t.build_delta_records(b"H" * 24, b"F" * 8)
+
+    def test_reset_after_flush(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\x00", b"\x01")
+        t.end_op()
+        t.reset_after_flush(1)
+        assert t.records == []
+        assert t.existing_records == 1
+        assert not t.out_of_place
+        assert not t.meta_changed
+        assert t.net_changed_offsets == set()
+
+
+class TestNetChangeAnalysis:
+    def test_net_offsets_tracked_even_out_of_place(self):
+        # E7 needs net modified bytes regardless of IPA eligibility.
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\x00" * 10, b"\x01" * 10)  # > M: out-of-place
+        t.end_op()
+        assert t.out_of_place
+        assert len(t.net_changed_offsets) == 10
+
+    def test_net_offsets_deduplicate(self):
+        t = make_tracker()
+        t.begin_op()
+        write(t, 100, b"\x00", b"\x01")
+        t.end_op()
+        t.begin_op()
+        write(t, 100, b"\x01", b"\x02")
+        t.end_op()
+        assert t.net_changed_offsets == {100}

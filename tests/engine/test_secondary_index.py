@@ -1,0 +1,135 @@
+"""Secondary B+-tree indexes maintained through table DML."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SCHEME_2X4
+from repro.engine.database import Database
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.noftl import IpaRegionConfig, NoFtlDevice
+from repro.storage.manager import IpaNativePolicy, StorageManager
+
+GEO = FlashGeometry(page_size=1024, oob_size=128, pages_per_block=8, blocks=64)
+
+SCHEMA = Schema(
+    [
+        Column("id", ColumnType.INT32),
+        Column("status", ColumnType.INT32),
+        Column("amount", ColumnType.INT64),
+    ]
+)
+
+
+def make_db(buffer_capacity=8):
+    device = NoFtlDevice(FlashChip(GEO), over_provisioning=0.2)
+    device.create_region("d", blocks=64, ipa=IpaRegionConfig(2, 4))
+    manager = StorageManager(
+        device, SCHEME_2X4, IpaNativePolicy(), buffer_capacity=buffer_capacity
+    )
+    return Database(manager)
+
+
+class TestSecondaryIndex:
+    def test_backfill_and_lookup(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        for i in range(50):
+            t.insert({"id": i, "status": i % 3, "amount": i})
+        t.create_secondary_index("status", n_pages=40)
+        rows = t.find_by("status", 1)
+        assert sorted(r["id"] for r in rows) == list(range(1, 50, 3))
+
+    def test_insert_maintains(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        t.create_secondary_index("status", n_pages=40)
+        t.insert({"id": 1, "status": 7, "amount": 0})
+        t.insert({"id": 2, "status": 7, "amount": 0})
+        assert {r["id"] for r in t.find_by("status", 7)} == {1, 2}
+
+    def test_update_moves_entry(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        t.create_secondary_index("status", n_pages=40)
+        t.insert({"id": 1, "status": 0, "amount": 0})
+        t.update_field(1, "status", 2)
+        assert t.find_by("status", 0) == []
+        assert [r["id"] for r in t.find_by("status", 2)] == [1]
+
+    def test_update_fields_moves_entry(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        t.create_secondary_index("status", n_pages=40)
+        t.insert({"id": 1, "status": 0, "amount": 0})
+        t.update_fields(1, {"status": 3, "amount": 99})
+        assert [r["id"] for r in t.find_by("status", 3)] == [1]
+        assert t.get(1)["amount"] == 99
+
+    def test_update_unindexed_column_untouched(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        t.create_secondary_index("status", n_pages=40)
+        t.insert({"id": 1, "status": 5, "amount": 0})
+        t.update_field(1, "amount", 123)
+        assert [r["id"] for r in t.find_by("status", 5)] == [1]
+
+    def test_delete_maintains(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        t.create_secondary_index("status", n_pages=40)
+        t.insert({"id": 1, "status": 4, "amount": 0})
+        t.delete(1)
+        assert t.find_by("status", 4) == []
+
+    def test_range_query(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        idx = t.create_secondary_index("status", n_pages=40)
+        for i in range(30):
+            t.insert({"id": i, "status": i, "amount": 0})
+        rows = t.find_range("status", 10, 14)
+        assert sorted(r["id"] for r in rows) == [10, 11, 12, 13, 14]
+        assert len(idx) == 30
+
+    def test_duplicate_index_rejected(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        t.create_secondary_index("status", n_pages=40)
+        with pytest.raises(ValueError):
+            t.create_secondary_index("status", n_pages=40)
+
+    def test_unknown_column_rejected(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        with pytest.raises(KeyError):
+            t.create_secondary_index("nope", n_pages=40)
+
+    def test_value_out_of_int32_rejected(self):
+        db = make_db()
+        t = db.create_table("orders", SCHEMA, n_pages=30, pk="id")
+        t.create_secondary_index("amount", n_pages=40)
+        with pytest.raises(ValueError):
+            t.insert({"id": 1, "status": 0, "amount": 2**40})
+
+    def test_survives_eviction_and_restart(self):
+        db = make_db(buffer_capacity=4)
+        t = db.create_table("orders", SCHEMA, n_pages=40, pk="id")
+        t.create_secondary_index("status", n_pages=60)
+        rng = np.random.default_rng(8)
+        statuses = {}
+        for i in range(200):
+            status = int(rng.integers(0, 10))
+            t.insert({"id": i, "status": status, "amount": 0})
+            statuses[i] = status
+        for i in range(0, 200, 5):
+            new = int(rng.integers(0, 10))
+            t.update_field(i, "status", new)
+            statuses[i] = new
+        db.checkpoint()
+        db.manager.pool.drop_all()
+        for status in range(10):
+            expected = sorted(i for i, s in statuses.items() if s == status)
+            got = sorted(r["id"] for r in t.find_by("status", status))
+            assert got == expected, status

@@ -1,0 +1,126 @@
+"""Bit-transition legality: the vectorized erase-before-overwrite rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flash.cellmodel import (
+    ERASED_BYTE,
+    changed_byte_count,
+    first_illegal_offset,
+    is_erased,
+    mlc_levels,
+    mlc_transition_legal,
+    slc_transition_legal,
+)
+
+page = st.binary(min_size=1, max_size=64)
+
+
+class TestSlcTransition:
+    def test_identity_is_legal(self):
+        assert slc_transition_legal(b"\xa5\x00\xff", b"\xa5\x00\xff")
+
+    def test_clearing_bits_is_legal(self):
+        # 0b1111_1111 -> 0b1010_0101 only clears bits.
+        assert slc_transition_legal(b"\xff", b"\xa5")
+
+    def test_setting_bits_is_illegal(self):
+        assert not slc_transition_legal(b"\x00", b"\x01")
+        assert not slc_transition_legal(b"\xa5", b"\xff")
+
+    def test_append_into_erased_region_is_legal(self):
+        old = b"\x12\x34" + bytes([ERASED_BYTE]) * 4
+        new = b"\x12\x34" + b"\xde\xad" + bytes([ERASED_BYTE]) * 2
+        assert slc_transition_legal(old, new)
+
+    def test_modify_programmed_region_generally_illegal(self):
+        old = b"\x12\x34"
+        new = b"\x13\x34"  # 0x12 -> 0x13 sets bit 0
+        assert not slc_transition_legal(old, new)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            slc_transition_legal(b"\x00", b"\x00\x00")
+
+    @given(old=page, new=page)
+    def test_matches_bitwise_definition(self, old, new):
+        if len(old) != len(new):
+            new = (new * (len(old) // len(new) + 1))[: len(old)]
+        expected = all((n & o) == n for o, n in zip(old, new))
+        assert slc_transition_legal(old, new) == expected
+
+    @given(data=page)
+    def test_erased_page_accepts_anything(self, data):
+        old = bytes([ERASED_BYTE]) * len(data)
+        assert slc_transition_legal(old, data)
+
+    @given(data=page)
+    def test_anything_transitions_to_all_zero(self, data):
+        # All-zero is the charge maximum: reachable from any state.
+        assert slc_transition_legal(data, b"\x00" * len(data))
+
+
+class TestFirstIllegalOffset:
+    def test_none_when_legal(self):
+        assert first_illegal_offset(b"\xff\xff", b"\x00\xff") == -1
+
+    def test_reports_first_bad_byte(self):
+        old = b"\x00\x00\x00"
+        new = b"\x00\x01\x01"
+        assert first_illegal_offset(old, new) == 1
+
+
+class TestChangedByteCount:
+    def test_counts_differences(self):
+        assert changed_byte_count(b"abcd", b"abXY") == 2
+
+    def test_zero_for_identical(self):
+        assert changed_byte_count(b"abcd", b"abcd") == 0
+
+
+class TestIsErased:
+    def test_fresh_buffer(self):
+        assert is_erased(bytes([ERASED_BYTE]) * 8)
+
+    def test_programmed_buffer(self):
+        assert not is_erased(b"\xff\x7f")
+
+
+class TestMlcLevels:
+    def test_erased_wordline_is_level_zero(self):
+        levels = mlc_levels(b"\xff", b"\xff")
+        assert np.all(levels == 0)
+
+    def test_lsb_programmed_is_level_one(self):
+        # LSB bit 0, MSB bit 1 -> level 1 for every cell.
+        levels = mlc_levels(b"\x00", b"\xff")
+        assert np.all(levels == 1)
+
+    def test_both_programmed_levels(self):
+        assert np.all(mlc_levels(b"\x00", b"\x00") == 2)
+        assert np.all(mlc_levels(b"\xff", b"\x00") == 3)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mlc_levels(b"\x00", b"\x00\x00")
+
+
+class TestMlcTransition:
+    def test_lsb_program_on_erased_wordline_legal(self):
+        # First pass: LSB programming raises cells from level 0 to 1.
+        assert mlc_transition_legal(b"\xff", b"\xff", b"\x00", b"\xff")
+
+    def test_msb_program_after_lsb_legal(self):
+        assert mlc_transition_legal(b"\x00", b"\xff", b"\x00", b"\x00")
+
+    def test_level_decrease_illegal(self):
+        # Level 2 (00) back to level 1 (01) would lower charge.
+        assert not mlc_transition_legal(b"\x00", b"\x00", b"\x00", b"\xff")
+
+    def test_append_within_lsb_page_legal(self):
+        # Clearing more LSB bits while MSB stays erased: 0->1 per cell.
+        old_lsb = b"\xf0"
+        new_lsb = b"\x00"
+        assert mlc_transition_legal(old_lsb, b"\xff", new_lsb, b"\xff")

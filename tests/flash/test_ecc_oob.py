@@ -1,0 +1,84 @@
+"""OOB ECC slot layout (paper Figure 3) and slot semantics."""
+
+import pytest
+
+from repro.flash.ecc import (
+    ECC_SLOT_SIZE,
+    EccConfig,
+    OobLayout,
+    crc_slot,
+    slot_is_erased,
+    slot_matches,
+)
+from repro.flash.errors import OobOverflowError
+
+
+class TestEccConfig:
+    def test_codewords_for_exact_multiple(self):
+        assert EccConfig(codeword_bytes=1024).codewords_for(8192) == 8
+
+    def test_codewords_for_rounds_up(self):
+        assert EccConfig(codeword_bytes=1024).codewords_for(8193) == 9
+
+    def test_default_matches_mlc_generation(self):
+        cfg = EccConfig()
+        assert cfg.correctable_bits == 40
+        assert cfg.codeword_bytes == 1024
+
+
+class TestCrcSlot:
+    def test_slot_size(self):
+        assert len(crc_slot(b"hello")) == ECC_SLOT_SIZE
+
+    def test_matches_own_data(self):
+        assert slot_matches(crc_slot(b"hello"), b"hello")
+
+    def test_detects_corruption(self):
+        assert not slot_matches(crc_slot(b"hello"), b"hellp")
+
+    def test_erased_slot_detection(self):
+        assert slot_is_erased(b"\xff" * ECC_SLOT_SIZE)
+        assert not slot_is_erased(crc_slot(b"x"))
+
+
+class TestOobLayout:
+    def test_layout_fits_n_slots(self):
+        layout = OobLayout(oob_size=128, n_delta_slots=4)
+        assert layout.slot_span(0) == (0, 8)
+        assert layout.slot_span(4) == (32, 40)
+
+    def test_too_many_slots_rejected(self):
+        with pytest.raises(OobOverflowError):
+            OobLayout(oob_size=16, n_delta_slots=4)
+
+    def test_slot_index_bounds(self):
+        layout = OobLayout(oob_size=128, n_delta_slots=2)
+        with pytest.raises(OobOverflowError):
+            layout.slot_span(3)
+        with pytest.raises(OobOverflowError):
+            layout.slot_span(-1)
+
+    def test_write_then_read_slot(self):
+        layout = OobLayout(oob_size=128, n_delta_slots=2)
+        oob = bytearray(b"\xff" * 128)
+        slot = crc_slot(b"delta-record-1")
+        layout.write_slot(oob, 1, slot)
+        assert layout.read_slot(bytes(oob), 1) == slot
+        assert slot_matches(layout.read_slot(bytes(oob), 1), b"delta-record-1")
+
+    def test_write_slot_wrong_size_rejected(self):
+        layout = OobLayout(oob_size=128, n_delta_slots=2)
+        with pytest.raises(ValueError):
+            layout.write_slot(bytearray(128), 0, b"short")
+
+    def test_used_delta_slots_counts_programmed(self):
+        layout = OobLayout(oob_size=128, n_delta_slots=3)
+        oob = bytearray(b"\xff" * 128)
+        assert layout.used_delta_slots(bytes(oob)) == 0
+        layout.write_slot(oob, 1, crc_slot(b"d1"))
+        assert layout.used_delta_slots(bytes(oob)) == 1
+        layout.write_slot(oob, 2, crc_slot(b"d2"))
+        assert layout.used_delta_slots(bytes(oob)) == 2
+        # Slot 0 (initial data) does not count as a delta slot.
+        layout.write_slot(oob, 0, crc_slot(b"page"))
+        assert layout.used_delta_slots(bytes(oob)) == 2

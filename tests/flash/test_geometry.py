@@ -1,0 +1,66 @@
+"""Geometry arithmetic: addresses, capacities, presets."""
+
+import pytest
+
+from repro.flash.errors import IllegalAddressError
+from repro.flash.geometry import OPENSSD_JASMINE, FlashGeometry, scaled_jasmine
+
+
+class TestFlashGeometry:
+    def test_total_pages(self):
+        geo = FlashGeometry(page_size=512, oob_size=16, pages_per_block=4, blocks=10)
+        assert geo.total_pages == 40
+
+    def test_capacity_bytes_excludes_oob(self):
+        geo = FlashGeometry(page_size=512, oob_size=16, pages_per_block=4, blocks=10)
+        assert geo.capacity_bytes == 40 * 512
+
+    def test_split_ppn_round_trip(self):
+        geo = FlashGeometry(page_size=512, oob_size=16, pages_per_block=8, blocks=10)
+        for ppn in range(geo.total_pages):
+            block, page = geo.split_ppn(ppn)
+            assert geo.make_ppn(block, page) == ppn
+
+    def test_split_ppn_values(self):
+        geo = FlashGeometry(page_size=512, oob_size=16, pages_per_block=8, blocks=4)
+        assert geo.split_ppn(0) == (0, 0)
+        assert geo.split_ppn(7) == (0, 7)
+        assert geo.split_ppn(8) == (1, 0)
+        assert geo.split_ppn(31) == (3, 7)
+
+    def test_ppn_out_of_range_rejected(self):
+        geo = FlashGeometry(page_size=512, oob_size=16, pages_per_block=8, blocks=4)
+        with pytest.raises(IllegalAddressError):
+            geo.split_ppn(32)
+        with pytest.raises(IllegalAddressError):
+            geo.split_ppn(-1)
+
+    def test_make_ppn_rejects_bad_block_and_page(self):
+        geo = FlashGeometry(page_size=512, oob_size=16, pages_per_block=8, blocks=4)
+        with pytest.raises(IllegalAddressError):
+            geo.make_ppn(4, 0)
+        with pytest.raises(IllegalAddressError):
+            geo.make_ppn(0, 8)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            FlashGeometry(page_size=0)
+        with pytest.raises(ValueError):
+            FlashGeometry(pages_per_block=0)
+        with pytest.raises(ValueError):
+            FlashGeometry(blocks=-1)
+        with pytest.raises(ValueError):
+            FlashGeometry(oob_size=-1)
+
+    def test_jasmine_preset_matches_paper_footnote(self):
+        # Footnote 3: 4096 erase units, each 128 pages of 16 KB.
+        assert OPENSSD_JASMINE.blocks == 4096
+        assert OPENSSD_JASMINE.pages_per_block == 128
+        assert OPENSSD_JASMINE.page_size == 16384
+        assert OPENSSD_JASMINE.oob_size == 128
+        assert OPENSSD_JASMINE.capacity_bytes == 8 * 1024**3  # 8 GB package
+
+    def test_scaled_jasmine_keeps_oob(self):
+        geo = scaled_jasmine(blocks=32)
+        assert geo.oob_size == 128
+        assert geo.blocks == 32

@@ -1,0 +1,68 @@
+"""Disturb model and wordline adjacency."""
+
+import numpy as np
+
+from repro.flash.ecc import EccConfig
+from repro.flash.interference import DisturbModel, neighbour_pages
+from repro.flash.modes import FlashMode, rules_for
+
+
+class TestNeighbourPages:
+    def test_slc_adjacent_pages(self):
+        rules = rules_for(FlashMode.SLC)
+        assert neighbour_pages(3, 8, rules) == [2, 4]
+        assert neighbour_pages(0, 8, rules) == [1]
+        assert neighbour_pages(7, 8, rules) == [6]
+
+    def test_mlc_includes_pair_and_adjacent_wordlines(self):
+        rules = rules_for(FlashMode.MLC)
+        # Page 4 = LSB of wordline 2: pair is 5, neighbours WL1 (2,3) and
+        # WL3 (6,7).
+        victims = neighbour_pages(4, 8, rules)
+        assert set(victims) == {5, 2, 3, 6, 7}
+
+    def test_mlc_edge_wordline(self):
+        rules = rules_for(FlashMode.MLC)
+        victims = neighbour_pages(0, 8, rules)
+        assert set(victims) == {1, 2, 3}
+
+    def test_pslc_pairs_like_mlc(self):
+        # pSLC runs on MLC silicon: the unused MSB page is still coupled.
+        rules = rules_for(FlashMode.PSLC)
+        assert 1 in neighbour_pages(0, 8, rules)
+
+
+class TestDisturbModel:
+    def test_mlc_reprogram_rate_dominates(self):
+        ecc = EccConfig()
+        mlc = DisturbModel(rules_for(FlashMode.MLC), ecc, 4096, seed=1)
+        slc = DisturbModel(rules_for(FlashMode.SLC), ecc, 4096, seed=1)
+        mlc_total = sum(int(mlc.disturb_counts(True).sum()) for _ in range(500))
+        slc_total = sum(int(slc.disturb_counts(True).sum()) for _ in range(500))
+        assert mlc_total > 50
+        assert slc_total == 0  # 1e-9/bit: essentially never at this scale
+
+    def test_reprogram_worse_than_program_on_mlc(self):
+        ecc = EccConfig()
+        model = DisturbModel(rules_for(FlashMode.MLC), ecc, 4096, seed=2)
+        reprogram = sum(
+            int(model.disturb_counts(True).sum()) for _ in range(300)
+        )
+        program = sum(
+            int(model.disturb_counts(False).sum()) for _ in range(300)
+        )
+        assert reprogram > program
+
+    def test_counts_shape_matches_codewords(self):
+        ecc = EccConfig(codeword_bytes=1024)
+        model = DisturbModel(rules_for(FlashMode.MLC), ecc, 8192, seed=3)
+        counts = model.disturb_counts(True)
+        assert counts.shape == (8,)
+        assert (counts >= 0).all()
+
+    def test_deterministic_per_seed(self):
+        ecc = EccConfig()
+        a = DisturbModel(rules_for(FlashMode.MLC), ecc, 4096, seed=9)
+        b = DisturbModel(rules_for(FlashMode.MLC), ecc, 4096, seed=9)
+        for _ in range(50):
+            assert np.array_equal(a.disturb_counts(True), b.disturb_counts(True))

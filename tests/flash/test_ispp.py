@@ -1,0 +1,127 @@
+"""ISPP cell model: the physics behind in-place appends (paper Figure 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flash.errors import IllegalProgramError
+from repro.flash.ispp import (
+    MLC_ISPP,
+    SLC_ISPP,
+    FloatingGateCell,
+    IsppParameters,
+    program_wordline,
+)
+
+
+class TestFloatingGateCell:
+    def test_starts_erased(self):
+        cell = FloatingGateCell()
+        assert cell.charge == 0.0
+        assert cell.program_passes == 0
+
+    def test_program_raises_charge_incrementally(self):
+        cell = FloatingGateCell(SLC_ISPP)
+        trace = cell.program_to(1.0)
+        assert trace.pulses > 1
+        assert cell.charge >= 1.0
+        # Staircase: charges strictly increase pulse by pulse.
+        assert trace.charges == sorted(trace.charges)
+
+    def test_program_to_zero_needs_no_pulses(self):
+        cell = FloatingGateCell()
+        trace = cell.program_to(0.0)
+        assert trace.pulses == 0
+
+    def test_reprogram_same_target_is_pulse_free(self):
+        # Re-writing identical data adds no charge — why reprogramming
+        # unchanged bytes during an in-place append is harmless.
+        cell = FloatingGateCell()
+        cell.program_to(1.0)
+        first_charge = cell.charge
+        trace = cell.program_to(first_charge)
+        assert trace.pulses == 0
+        assert cell.charge == first_charge
+
+    def test_charge_increase_without_erase_is_legal(self):
+        # The enabling fact of IPA: raising charge never needs an erase.
+        cell = FloatingGateCell()
+        cell.program_to(0.5)
+        trace = cell.program_to(1.5)
+        assert trace.pulses > 0
+        assert cell.program_passes == 2
+
+    def test_charge_decrease_requires_erase(self):
+        cell = FloatingGateCell()
+        cell.program_to(1.5)
+        with pytest.raises(IllegalProgramError):
+            cell.program_to(0.5)
+
+    def test_erase_resets(self):
+        cell = FloatingGateCell()
+        cell.program_to(2.0)
+        cell.erase()
+        assert cell.charge == 0.0
+        assert cell.program_passes == 0
+        cell.program_to(0.5)  # programmable again
+
+    def test_finer_steps_take_more_pulses(self):
+        # MLC needs tight threshold distributions => smaller delta-V =>
+        # more pulses => the program_msb latency premium.
+        slc_cell = FloatingGateCell(SLC_ISPP)
+        mlc_cell = FloatingGateCell(MLC_ISPP)
+        slc_trace = slc_cell.program_to(1.0)
+        mlc_trace = mlc_cell.program_to(1.0)
+        assert mlc_trace.pulses > slc_trace.pulses
+        assert mlc_trace.elapsed_us > slc_trace.elapsed_us
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            FloatingGateCell().program_to(-0.1)
+
+    def test_with_step_copies(self):
+        params = IsppParameters().with_step(0.25)
+        assert params.delta_v_pgm == 0.25
+        assert params.v_start == IsppParameters().v_start
+
+    @given(
+        first=st.floats(min_value=0.0, max_value=3.0),
+        second=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_monotonicity_property(self, first, second):
+        """Charge never decreases across any successful sequence of programs."""
+        cell = FloatingGateCell()
+        cell.program_to(first)
+        charge_after_first = cell.charge
+        if second >= charge_after_first - 1e-9:
+            # Non-decreasing (within the model's float tolerance): legal.
+            cell.program_to(second)
+            assert cell.charge >= charge_after_first - 1e-9
+        else:
+            with pytest.raises(IllegalProgramError):
+                cell.program_to(second)
+            assert cell.charge == charge_after_first
+
+
+class TestProgramWordline:
+    def test_programs_all_cells(self):
+        cells = [FloatingGateCell() for _ in range(8)]
+        targets = [0.0, 0.5, 1.0, 1.5, 0.0, 0.5, 1.0, 1.5]
+        traces = program_wordline(targets, cells)
+        assert len(traces) == 8
+        for cell, target in zip(cells, targets):
+            assert cell.charge >= target
+
+    def test_any_decrease_fails_whole_wordline(self):
+        cells = [FloatingGateCell() for _ in range(4)]
+        program_wordline([1.0, 1.0, 1.0, 1.0], cells)
+        before = [c.charge for c in cells]
+        with pytest.raises(IllegalProgramError) as err:
+            program_wordline([1.5, 0.5, 1.5, 1.5], cells)
+        assert err.value.first_bad_offset == 1
+        # Pre-check means no cell was modified by the failed call.
+        assert [c.charge for c in cells] == before
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            program_wordline([1.0], [FloatingGateCell(), FloatingGateCell()])

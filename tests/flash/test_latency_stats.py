@@ -1,0 +1,109 @@
+"""SimClock categories, latency model, stats snapshot/diff machinery."""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import HostCostModel, LatencyModel, SimClock
+from repro.flash.stats import DeviceStats, FlashStats
+
+GEO = FlashGeometry(page_size=512, oob_size=64, pages_per_block=8, blocks=8)
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now_us == 7.5
+        assert clock.now_s == pytest.approx(7.5e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_categories(self):
+        clock = SimClock()
+        clock.advance(10, "read")
+        clock.advance(5, "read")
+        clock.advance(3, "erase")
+        assert clock.breakdown_us == {"read": 15, "erase": 3}
+        assert clock.now_us == 18
+
+    def test_reset_clears_breakdown(self):
+        clock = SimClock()
+        clock.advance(10, "read")
+        clock.reset()
+        assert clock.now_us == 0
+        assert clock.breakdown_us == {}
+
+    def test_breakdown_sums_to_total(self):
+        chip = FlashChip(GEO)
+        chip.program_page(0, b"x" * 100)
+        chip.read_page(0)
+        chip.erase_block(0)
+        total = sum(chip.clock.breakdown_us.values())
+        assert total == pytest.approx(chip.clock.now_us)
+        assert set(chip.clock.breakdown_us) >= {"read", "program", "erase", "bus"}
+
+
+class TestLatencyModel:
+    def test_transfer_scales_with_bytes(self):
+        model = LatencyModel()
+        assert model.transfer_us(1000) == pytest.approx(
+            1000 * model.bus_us_per_byte
+        )
+
+    def test_defaults_ordered(self):
+        model = LatencyModel()
+        assert model.read_us < model.program_lsb_us
+        assert model.program_lsb_us < model.program_msb_us
+        assert model.program_msb_us < model.erase_us
+
+    def test_host_cost_model_defaults(self):
+        costs = HostCostModel()
+        assert costs.per_transaction_us > costs.per_buffer_hit_us
+        assert costs.ipa_tracking_us < 1.0  # "min. computational overhead"
+
+
+class TestStats:
+    def test_flash_snapshot_diff(self):
+        stats = FlashStats(page_reads=10, block_erases=2)
+        before = stats.snapshot()
+        stats.page_reads += 5
+        stats.block_erases += 1
+        diff = stats.diff(before)
+        assert diff.page_reads == 5
+        assert diff.block_erases == 1
+        assert before.page_reads == 10  # snapshot is independent
+
+    def test_flash_reset(self):
+        stats = FlashStats(page_reads=10)
+        stats.reset()
+        assert stats.page_reads == 0
+
+    def test_device_snapshot_diff_extra(self):
+        stats = DeviceStats(host_writes=3)
+        stats.extra["merges"] = 7
+        before = stats.snapshot()
+        stats.host_writes += 2
+        diff = stats.diff(before)
+        assert diff.host_writes == 2
+        before.extra["merges"] = 99
+        assert stats.extra["merges"] == 7  # copies are independent
+
+    def test_device_ratios_guard_zero(self):
+        stats = DeviceStats()
+        assert stats.migrations_per_host_write == 0.0
+        assert stats.erases_per_host_write == 0.0
+
+    def test_total_host_write_ops_includes_deltas(self):
+        stats = DeviceStats(host_writes=10, host_delta_writes=5)
+        assert stats.total_host_write_ops == 15
+
+    def test_device_reset(self):
+        stats = DeviceStats(host_writes=3)
+        stats.extra["x"] = 1
+        stats.reset()
+        assert stats.host_writes == 0
+        assert stats.extra == {}

@@ -1,0 +1,190 @@
+"""Paged B+-tree: ordering, splits, persistence, IPA interaction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SCHEME_2X4
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.noftl import IpaRegionConfig, NoFtlDevice
+from repro.storage.btree import BPlusTree, KeyNotFoundError
+from repro.storage.layout import PageFullError
+from repro.storage.manager import IpaNativePolicy, StorageManager
+
+GEO = FlashGeometry(page_size=512, oob_size=128, pages_per_block=8, blocks=96)
+
+
+def make_tree(max_pages=120, value_size=8, buffer_capacity=8):
+    device = NoFtlDevice(FlashChip(GEO), over_provisioning=0.15)
+    device.create_region("idx", blocks=96, ipa=IpaRegionConfig(2, 4))
+    manager = StorageManager(
+        device, SCHEME_2X4, IpaNativePolicy(), buffer_capacity=buffer_capacity
+    )
+    base, _ = manager.allocate_lba_range(max_pages)
+    return BPlusTree(manager, base, max_pages, value_size), manager
+
+
+def val(i: int) -> bytes:
+    return i.to_bytes(8, "little")
+
+
+class TestBasics:
+    def test_insert_search(self):
+        tree, _ = make_tree()
+        tree.insert(5, val(50))
+        tree.insert(1, val(10))
+        tree.insert(9, val(90))
+        assert tree.search(5) == val(50)
+        assert tree.search(1) == val(10)
+        assert tree.search(9) == val(90)
+        assert tree.search(7) is None
+        assert len(tree) == 3
+
+    def test_duplicate_insert_rejected(self):
+        tree, _ = make_tree()
+        tree.insert(1, val(1))
+        with pytest.raises(KeyError):
+            tree.insert(1, val(2))
+
+    def test_update(self):
+        tree, _ = make_tree()
+        tree.insert(1, val(1))
+        tree.update(1, val(999))
+        assert tree.search(1) == val(999)
+
+    def test_update_missing_rejected(self):
+        tree, _ = make_tree()
+        with pytest.raises(KeyNotFoundError):
+            tree.update(1, val(1))
+
+    def test_delete(self):
+        tree, _ = make_tree()
+        tree.insert(1, val(1))
+        tree.insert(2, val(2))
+        tree.delete(1)
+        assert tree.search(1) is None
+        assert tree.search(2) == val(2)
+        assert len(tree) == 1
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(1)
+
+    def test_negative_keys(self):
+        tree, _ = make_tree()
+        for key in (-5, -1, 0, 3, -100):
+            tree.insert(key, val(abs(key)))
+        assert tree.search(-100) == val(100)
+        assert [k for k, _v in tree.items()] == [-100, -5, -1, 0, 3]
+
+    def test_wrong_value_size_rejected(self):
+        tree, _ = make_tree(value_size=4)
+        with pytest.raises(ValueError):
+            tree.insert(1, b"too-long")
+
+
+class TestSplits:
+    def test_many_inserts_split_pages(self):
+        tree, manager = make_tree()
+        n = 400  # ~25 entries per 512 B page -> multi-level tree
+        for i in range(n):
+            tree.insert(i, val(i))
+        assert tree._allocated > 3
+        for i in range(n):
+            assert tree.search(i) == val(i), i
+
+    def test_random_order_inserts(self):
+        tree, _ = make_tree()
+        rng = np.random.default_rng(3)
+        keys = list(rng.permutation(300))
+        for k in keys:
+            tree.insert(int(k), val(int(k)))
+        assert [k for k, _v in tree.items()] == sorted(int(k) for k in keys)
+
+    def test_items_sorted_after_mixed_ops(self):
+        tree, _ = make_tree()
+        rng = np.random.default_rng(4)
+        alive = set()
+        for _ in range(600):
+            k = int(rng.integers(0, 250))
+            if k in alive:
+                if rng.random() < 0.5:
+                    tree.delete(k)
+                    alive.remove(k)
+                else:
+                    tree.update(k, val(k + 1))
+            else:
+                tree.insert(k, val(k))
+                alive.add(k)
+        keys = [k for k, _v in tree.items()]
+        assert keys == sorted(alive)
+        assert len(tree) == len(alive)
+
+    def test_file_exhaustion(self):
+        tree, _ = make_tree(max_pages=3)
+        with pytest.raises(PageFullError):
+            for i in range(1000):
+                tree.insert(i, val(i))
+
+
+class TestRangeScan:
+    def test_range(self):
+        tree, _ = make_tree()
+        for i in range(0, 200, 2):
+            tree.insert(i, val(i))
+        got = [k for k, _v in tree.range(50, 60)]
+        assert got == [50, 52, 54, 56, 58, 60]
+
+    def test_range_empty(self):
+        tree, _ = make_tree()
+        tree.insert(10, val(10))
+        assert list(tree.range(20, 30)) == []
+
+
+class TestPersistence:
+    def test_survives_cold_restart(self):
+        tree, manager = make_tree(buffer_capacity=4)
+        for i in range(300):
+            tree.insert(i, val(i))
+        for i in range(0, 300, 3):
+            tree.update(i, val(i * 2))
+        manager.flush_all()
+        manager.pool.drop_all()
+        for i in range(300):
+            expected = val(i * 2) if i % 3 == 0 else val(i)
+            assert tree.search(i) == expected, i
+
+    def test_value_updates_use_ipa(self):
+        """Leaf value updates are small -> they ship as delta-records."""
+        tree, manager = make_tree(buffer_capacity=4)
+        for i in range(300):
+            tree.insert(i, val(i))
+        manager.flush_all()
+        deltas_before = manager.device.stats.host_delta_writes
+        rng = np.random.default_rng(5)
+        for _ in range(120):
+            k = int(rng.integers(0, 300))
+            # +1 on the little-endian value changes 1-2 bytes.
+            current = int.from_bytes(tree.search(k), "little")
+            tree.update(k, val(current + 1))
+        manager.flush_all()
+        assert manager.device.stats.host_delta_writes > deltas_before
+
+
+class TestPropertyBased:
+    @given(
+        keys=st.lists(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            min_size=1,
+            max_size=120,
+            unique=True,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_insert_search_property(self, keys):
+        tree, _ = make_tree()
+        for i, k in enumerate(keys):
+            tree.insert(k, val(i % 255))
+        for i, k in enumerate(keys):
+            assert tree.search(k) == val(i % 255)
+        assert [k for k, _v in tree.items()] == sorted(keys)

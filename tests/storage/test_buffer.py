@@ -1,0 +1,128 @@
+"""Buffer pool: LRU, pinning, eviction accounting."""
+
+import pytest
+
+from repro.core.config import SCHEME_2X4
+from repro.core.tracker import ChangeTracker
+from repro.storage.buffer import BufferPool, BufferPoolFullError, Frame
+from repro.storage.layout import SlottedPage
+
+PAGE_SIZE = 512
+
+
+def make_frame(lba, dirty=False):
+    page = SlottedPage.fresh(lba, PAGE_SIZE, SCHEME_2X4)
+    tracker = ChangeTracker(SCHEME_2X4, 0, 24, page.delta_start)
+    frame = Frame(lba, page, tracker, flash_image=page.to_bytes(), flash_delta_count=0)
+    if dirty:
+        frame.mark_dirty()
+    return frame
+
+
+class TestPoolBasics:
+    def test_insert_and_get(self):
+        pool = BufferPool(4, flush=lambda f: None)
+        frame = make_frame(1)
+        pool.insert(frame)
+        assert pool.get(1) is frame
+        assert 1 in pool
+        assert len(pool) == 1
+
+    def test_get_missing_returns_none(self):
+        pool = BufferPool(4, flush=lambda f: None)
+        assert pool.get(99) is None
+
+    def test_duplicate_insert_rejected(self):
+        pool = BufferPool(4, flush=lambda f: None)
+        pool.insert(make_frame(1))
+        with pytest.raises(ValueError):
+            pool.insert(make_frame(1))
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(0, flush=lambda f: None)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        pool = BufferPool(2, flush=lambda f: None)
+        pool.insert(make_frame(1))
+        pool.insert(make_frame(2))
+        pool.get(1)  # refresh 1; 2 becomes LRU
+        pool.insert(make_frame(3))
+        assert 1 in pool
+        assert 2 not in pool
+        assert 3 in pool
+
+    def test_dirty_eviction_flushes(self):
+        flushed = []
+        pool = BufferPool(1, flush=flushed.append)
+        pool.insert(make_frame(1, dirty=True))
+        pool.insert(make_frame(2))
+        assert [f.lba for f in flushed] == [1]
+        assert pool.stats.dirty_evictions == 1
+
+    def test_clean_eviction_skips_flush(self):
+        flushed = []
+        pool = BufferPool(1, flush=flushed.append)
+        pool.insert(make_frame(1))
+        pool.insert(make_frame(2))
+        assert flushed == []
+        assert pool.stats.clean_evictions == 1
+
+    def test_pinned_frames_survive(self):
+        pool = BufferPool(2, flush=lambda f: None)
+        f1 = make_frame(1)
+        pool.insert(f1)
+        f1.pin()
+        pool.insert(make_frame(2))
+        pool.insert(make_frame(3))
+        assert 1 in pool
+        assert 2 not in pool
+
+    def test_all_pinned_raises(self):
+        pool = BufferPool(1, flush=lambda f: None)
+        f1 = make_frame(1)
+        pool.insert(f1)
+        f1.pin()
+        with pytest.raises(BufferPoolFullError):
+            pool.insert(make_frame(2))
+
+    def test_net_bytes_recorded_on_dirty_eviction(self):
+        pool = BufferPool(1, flush=lambda f: None)
+        frame = make_frame(1, dirty=True)
+        frame.tracker.begin_op()
+        frame.tracker.on_write(100, b"\x00\x00\x00", b"\x01\x02\x03")
+        frame.tracker.end_op()
+        pool.insert(frame)
+        pool.insert(make_frame(2))
+        assert pool.stats.dirty_eviction_net_bytes == [3]
+
+
+class TestFlushAll:
+    def test_flush_all_only_dirty(self):
+        flushed = []
+        pool = BufferPool(4, flush=flushed.append)
+        pool.insert(make_frame(1, dirty=True))
+        pool.insert(make_frame(2))
+        pool.insert(make_frame(3, dirty=True))
+        pool.flush_all()
+        assert sorted(f.lba for f in flushed) == [1, 3]
+
+
+class TestFrame:
+    def test_pin_unpin(self):
+        frame = make_frame(1)
+        frame.pin()
+        frame.pin()
+        assert frame.pin_count == 2
+        frame.unpin()
+        frame.unpin()
+        with pytest.raises(RuntimeError):
+            frame.unpin()
+
+    def test_fresh_page_starts_dirty(self):
+        page = SlottedPage.fresh(9, PAGE_SIZE, SCHEME_2X4)
+        tracker = ChangeTracker(SCHEME_2X4, 0, 24, page.delta_start)
+        frame = Frame(9, page, tracker, flash_image=None, flash_delta_count=0)
+        assert frame.dirty

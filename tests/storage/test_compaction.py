@@ -1,0 +1,79 @@
+"""Page compaction: tombstone space reclamation with stable RIDs."""
+
+from repro.core.config import SCHEME_2X4
+from repro.storage.layout import SlottedPage
+
+PAGE_SIZE = 512
+
+
+def fresh():
+    return SlottedPage.fresh(1, PAGE_SIZE, SCHEME_2X4)
+
+
+class TestCompact:
+    def test_reclaims_deleted_space(self):
+        page = fresh()
+        for i in range(5):
+            page.insert(bytes([i]) * 40)
+        page.delete(1)
+        page.delete(3)
+        free_before = page.free_space
+        reclaimed = page.compact()
+        assert reclaimed == 80
+        assert page.free_space == free_before + 80
+
+    def test_preserves_live_records_and_slots(self):
+        page = fresh()
+        for i in range(5):
+            page.insert(bytes([i]) * 40)
+        page.delete(1)
+        page.delete(3)
+        page.compact()
+        assert page.read(0) == bytes([0]) * 40
+        assert page.read(2) == bytes([2]) * 40
+        assert page.read(4) == bytes([4]) * 40
+        assert page.slot_count == 5
+        # Tombstones stay tombstones.
+        assert page.slot(1)[1] == 0
+        assert page.slot(3)[1] == 0
+
+    def test_noop_without_tombstones(self):
+        page = fresh()
+        for i in range(3):
+            page.insert(bytes([i]) * 20)
+        assert not page.has_tombstones()
+        assert page.compact() == 0
+        for i in range(3):
+            assert page.read(i) == bytes([i]) * 20
+
+    def test_vacated_tail_is_erased(self):
+        page = fresh()
+        page.insert(b"a" * 100)
+        page.insert(b"b" * 100)
+        page.delete(0)
+        page.compact()
+        # The reclaimed region returns to the erased state (0xFF) so the
+        # page image stays Flash-appendable.
+        tail = page.to_bytes()[page.free_lower : page.free_lower + 100]
+        assert all(byte == 0xFF for byte in tail)
+
+    def test_has_tombstones(self):
+        page = fresh()
+        page.insert(b"x")
+        assert not page.has_tombstones()
+        page.delete(0)
+        assert page.has_tombstones()
+
+    def test_insert_after_compaction(self):
+        page = fresh()
+        while True:
+            try:
+                page.insert(b"z" * 40)
+            except Exception:
+                break
+        page.delete(0)
+        page.delete(2)
+        page.compact()
+        slot = page.insert(b"w" * 40)
+        assert page.read(slot) == b"w" * 40
+        page.validate()

@@ -1,0 +1,62 @@
+"""Positional slot operations fuzz: SlottedPage vs a plain list model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SCHEME_2X4
+from repro.storage.layout import PageFullError, SlottedPage
+
+PAGE_SIZE = 1024
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert_at", "remove_at", "replace"]),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(sequence=ops)
+@settings(max_examples=60, deadline=None)
+def test_positional_ops_match_list_model(sequence):
+    page = SlottedPage.fresh(1, PAGE_SIZE, SCHEME_2X4)
+    model: list[bytes] = []
+    for op, position, value in sequence:
+        record = bytes([value]) * 12
+        if op == "insert_at":
+            position = min(position, len(model))
+            try:
+                page.insert_at(position, record)
+                model.insert(position, record)
+            except PageFullError:
+                pass
+        elif op == "remove_at":
+            if model:
+                position = position % len(model)
+                page.remove_at(position)
+                model.pop(position)
+        else:  # replace
+            if model:
+                position = position % len(model)
+                page.replace(position, record)
+                model[position] = record
+    assert page.slot_count == len(model)
+    for i, expected in enumerate(model):
+        assert page.read(i) == expected
+    page.validate()
+
+
+@given(
+    records=st.lists(st.binary(min_size=1, max_size=20), min_size=1,
+                     max_size=25)
+)
+@settings(max_examples=40, deadline=None)
+def test_insert_at_front_reverses(records):
+    page = SlottedPage.fresh(1, PAGE_SIZE, SCHEME_2X4)
+    for record in records:
+        page.insert_at(0, record)
+    stored = [page.read(i) for i in range(page.slot_count)]
+    assert stored == list(reversed(records))

@@ -1,0 +1,292 @@
+"""Storage manager + write policies against real simulated devices.
+
+These are the integration tests of the paper's three write strategies:
+fetch applies delta-records, eviction ships deltas (native), composed
+pages (block-device IPA) or whole pages (traditional).
+"""
+
+import pytest
+
+from repro.core.config import IPA_DISABLED, SCHEME_2X4
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.ipa_ftl import IpaFtl
+from repro.ftl.noftl import IpaRegionConfig, NoFtlDevice
+from repro.ftl.page_mapping import PageMappingFtl
+from repro.storage.layout import PageCorruptError
+from repro.storage.manager import (
+    IpaBlockDevicePolicy,
+    IpaNativePolicy,
+    StorageManager,
+    TraditionalPolicy,
+)
+
+GEO = FlashGeometry(page_size=1024, oob_size=128, pages_per_block=8, blocks=32)
+
+
+def native_manager(buffer_capacity=4, scheme=SCHEME_2X4):
+    device = NoFtlDevice(FlashChip(GEO), over_provisioning=0.2)
+    device.create_region(
+        "data",
+        blocks=32,
+        ipa=IpaRegionConfig(scheme.n_records, scheme.m_bytes)
+        if scheme.enabled
+        else None,
+    )
+    return StorageManager(
+        device, scheme, IpaNativePolicy(), buffer_capacity=buffer_capacity
+    )
+
+
+def blockdev_manager(buffer_capacity=4):
+    device = IpaFtl(FlashChip(GEO), over_provisioning=0.2)
+    return StorageManager(
+        device, SCHEME_2X4, IpaBlockDevicePolicy(), buffer_capacity=buffer_capacity
+    )
+
+
+def traditional_manager(buffer_capacity=4):
+    device = PageMappingFtl(FlashChip(GEO), over_provisioning=0.2)
+    return StorageManager(
+        device, IPA_DISABLED, TraditionalPolicy(), buffer_capacity=buffer_capacity
+    )
+
+
+def seed_page(mgr, lba=0, record=b"record-zero-000000"):
+    frame = mgr.format_page(lba)
+    with mgr.update(lba) as page:
+        slot = page.insert(record)
+    mgr.unpin(frame)
+    mgr.flush_all()
+    return slot
+
+
+def evict_everything(mgr):
+    mgr.flush_all()
+    mgr.pool.drop_all()
+
+
+class TestFetchAndFormat:
+    def test_format_then_fetch_round_trip(self):
+        mgr = native_manager()
+        slot = seed_page(mgr)
+        evict_everything(mgr)
+        with mgr.page(0) as page:
+            assert page.read(slot) == b"record-zero-000000"
+
+    def test_fetch_unknown_lba_raises(self):
+        mgr = native_manager()
+        with pytest.raises(KeyError):
+            mgr.fetch(999)
+
+    def test_double_format_rejected(self):
+        mgr = native_manager()
+        frame = mgr.format_page(0)
+        with pytest.raises(ValueError):
+            mgr.format_page(0)
+        mgr.unpin(frame)
+
+    def test_buffer_hit_counts(self):
+        mgr = native_manager()
+        seed_page(mgr)
+        with mgr.page(0):
+            pass
+        with mgr.page(0):
+            pass
+        assert mgr.pool.stats.hits >= 1
+
+
+class TestNativeIpaFlow:
+    def test_small_update_ships_delta_only(self):
+        mgr = native_manager()
+        slot = seed_page(mgr)
+        writes_before = mgr.device.stats.host_writes
+        with mgr.update(0) as page:
+            page.update(slot, 0, b"RE")
+        mgr.flush_all()
+        assert mgr.device.stats.host_writes == writes_before  # no page write
+        assert mgr.device.stats.host_delta_writes == 1
+        assert mgr.stats.ipa_flushes == 1
+
+    def test_delta_survives_eviction_and_refetch(self):
+        mgr = native_manager()
+        slot = seed_page(mgr)
+        with mgr.update(0) as page:
+            page.update(slot, 7, b"XY")
+        evict_everything(mgr)
+        with mgr.page(0) as page:
+            assert page.read(slot) == b"record-XYro-000000"
+
+    def test_two_residencies_two_deltas_then_oop(self):
+        # N=2: two IPA evictions fit, the third falls back out-of-place.
+        mgr = native_manager()
+        slot = seed_page(mgr)
+        for i in range(3):
+            with mgr.update(0) as page:
+                page.update(slot, i, bytes([0x41 + i]))
+            evict_everything(mgr)
+        assert mgr.stats.ipa_flushes == 2
+        assert mgr.device.stats.host_delta_writes == 2
+        # Final content correct regardless of path.
+        with mgr.page(0) as page:
+            assert page.read(slot)[:3] == b"ABC"
+
+    def test_big_update_goes_out_of_place(self):
+        mgr = native_manager()
+        slot = seed_page(mgr)
+        oop_before = mgr.stats.oop_flushes
+        with mgr.update(0) as page:
+            page.update(slot, 0, b"0123456789")  # 10 B > M=4
+        mgr.flush_all()
+        assert mgr.stats.ipa_flushes == 0
+        assert mgr.stats.oop_flushes == oop_before + 1
+        evict_everything(mgr)
+        with mgr.page(0) as page:
+            assert page.read(slot) == b"0123456789-000000"[:18] or page.read(slot)[:10] == b"0123456789"
+
+    def test_insert_goes_out_of_place(self):
+        mgr = native_manager()
+        seed_page(mgr)
+        oop_before = mgr.stats.oop_flushes
+        with mgr.update(0) as page:
+            page.insert(b"another record")
+        mgr.flush_all()
+        assert mgr.stats.oop_flushes == oop_before + 1
+
+    def test_after_oop_budget_resets(self):
+        mgr = native_manager()
+        slot = seed_page(mgr)
+        # Exhaust N with two delta evictions.
+        for i in range(2):
+            with mgr.update(0) as page:
+                page.update(slot, i, b"Z")
+            evict_everything(mgr)
+        # Out-of-place rewrite clears the flash delta count...
+        with mgr.update(0) as page:
+            page.update(slot, 0, b"0123456789")
+        evict_everything(mgr)
+        # ...so IPA works again.
+        with mgr.update(0) as page:
+            page.update(slot, 12, b"Q")
+        mgr.flush_all()
+        assert mgr.stats.ipa_flushes == 3
+
+    def test_clean_eviction_writes_nothing(self):
+        mgr = native_manager(buffer_capacity=2)
+        seed_page(mgr, lba=0)
+        seed_page(mgr, lba=1)
+        writes = mgr.device.stats.host_writes
+        deltas = mgr.device.stats.host_delta_writes
+        # Read-only traffic evicting pages 0/1 repeatedly.
+        seed_page(mgr, lba=2)
+        with mgr.page(0):
+            pass
+        with mgr.page(1):
+            pass
+        assert mgr.device.stats.host_delta_writes == deltas
+        # (page 2's initial flush is the only extra write)
+        assert mgr.device.stats.host_writes == writes + 1
+
+
+class TestBlockDeviceIpaFlow:
+    def test_small_update_composed_and_programmed_in_place(self):
+        mgr = blockdev_manager()
+        slot = seed_page(mgr)
+        invalidations_before = mgr.device.stats.page_invalidations
+        with mgr.update(0) as page:
+            page.update(slot, 0, b"RE")
+        mgr.flush_all()
+        # Whole page crossed the bus...
+        assert mgr.device.stats.host_writes >= 2
+        # ...but the device programmed it in place: no invalidation.
+        assert mgr.device.stats.in_place_appends == 1
+        assert mgr.device.stats.page_invalidations == invalidations_before
+
+    def test_reconstruction_after_composed_write(self):
+        mgr = blockdev_manager()
+        slot = seed_page(mgr)
+        with mgr.update(0) as page:
+            page.update(slot, 7, b"XY")
+        evict_everything(mgr)
+        with mgr.page(0) as page:
+            assert page.read(slot) == b"record-XYro-000000"
+
+    def test_big_update_falls_back(self):
+        mgr = blockdev_manager()
+        slot = seed_page(mgr)
+        with mgr.update(0) as page:
+            page.update(slot, 0, b"0123456789")
+        mgr.flush_all()
+        assert mgr.device.stats.in_place_appends == 0
+        assert mgr.device.stats.page_invalidations >= 1
+
+
+class TestTraditionalFlow:
+    def test_every_dirty_eviction_is_a_page_write(self):
+        mgr = traditional_manager()
+        slot = seed_page(mgr)
+        for i in range(3):
+            with mgr.update(0) as page:
+                page.update(slot, i, b"Z")
+            mgr.flush_all()
+        assert mgr.device.stats.host_writes == 4  # initial + 3 updates
+        assert mgr.device.stats.page_invalidations == 3
+        assert mgr.stats.ipa_flushes == 0
+
+    def test_round_trip(self):
+        mgr = traditional_manager()
+        slot = seed_page(mgr)
+        with mgr.update(0) as page:
+            page.update(slot, 0, b"NEW")
+        evict_everything(mgr)
+        with mgr.page(0) as page:
+            assert page.read(slot)[:3] == b"NEW"
+
+
+class TestChecksumProtection:
+    def test_corrupted_flash_page_detected_on_fetch(self):
+        mgr = native_manager()
+        seed_page(mgr)
+        evict_everything(mgr)
+        # Corrupt the physical page body behind the device's back.
+        region = mgr.device.regions[0]
+        ppn = region._blocks.ppn_of(0)
+        physical = mgr.device.chip.page_at(ppn)
+        physical._data[100] ^= 0x01
+        with pytest.raises(PageCorruptError):
+            mgr.fetch(0)
+
+
+class TestLsnProgression:
+    def test_updates_advance_lsn(self):
+        mgr = native_manager()
+        slot = seed_page(mgr)
+        with mgr.page(0) as page:
+            lsn1 = page.lsn
+        with mgr.update(0) as page:
+            page.update(slot, 0, b"A")
+        with mgr.page(0) as page:
+            assert page.lsn > lsn1
+
+    def test_lsn_survives_ipa_round_trip(self):
+        mgr = native_manager()
+        slot = seed_page(mgr)
+        with mgr.update(0) as page:
+            page.update(slot, 0, b"A")
+        with mgr.page(0) as page:
+            lsn = page.lsn
+        evict_everything(mgr)
+        with mgr.page(0) as page:
+            assert page.lsn == lsn
+
+
+class TestAllocation:
+    def test_lba_ranges_sequential(self):
+        mgr = native_manager()
+        assert mgr.allocate_lba_range(10) == (0, 10)
+        assert mgr.allocate_lba_range(5) == (10, 15)
+
+    def test_over_allocation_rejected(self):
+        mgr = native_manager()
+        with pytest.raises(ValueError):
+            mgr.allocate_lba_range(mgr.device.logical_pages + 1)

@@ -1,0 +1,40 @@
+"""The ``python -m repro`` command-line front door."""
+
+import io
+from contextlib import redirect_stdout
+
+from repro.__main__ import main
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(list(argv))
+    return code, buffer.getvalue()
+
+
+class TestCli:
+    def test_help(self):
+        code, out = run_cli("--help")
+        assert code == 0
+        assert "table1" in out
+
+    def test_no_args_prints_help(self):
+        code, out = run_cli()
+        assert code == 0
+        assert "demo" in out
+
+    def test_unknown_command(self):
+        code, out = run_cli("frobnicate")
+        assert code == 2
+        assert "unknown command" in out
+
+    def test_fig3_runs(self):
+        code, out = run_cli("fig3")
+        assert code == 0
+        assert "[2x4]" in out
+
+    def test_fig2_runs(self):
+        code, out = run_cli("fig2")
+        assert code == 0
+        assert "ISPP" in out

@@ -1,0 +1,36 @@
+"""Import health: every module imports cleanly, public APIs exist."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def walk_modules():
+    prefix = repro.__name__ + "."
+    for module in pkgutil.walk_packages(repro.__path__, prefix):
+        yield module.name
+
+
+class TestImports:
+    def test_every_module_imports(self):
+        names = list(walk_modules())
+        assert len(names) > 30
+        for name in names:
+            importlib.import_module(name)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_reexports(self):
+        from repro.core import ChangeTracker, DeltaRecord, IpaScheme  # noqa
+        from repro.engine import Database, Schema, Transaction  # noqa
+        from repro.flash import FlashChip, FlashGeometry, FlashMode  # noqa
+        from repro.ftl import IpaFtl, NoFtlDevice, PageMappingFtl  # noqa
+        from repro.storage import BufferPool, SlottedPage, StorageManager  # noqa
+        from repro.workloads import WORKLOADS  # noqa
+
+    def test_every_public_module_has_docstring(self):
+        for name in walk_modules():
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} lacks a module docstring"

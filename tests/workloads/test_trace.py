@@ -1,0 +1,93 @@
+"""Trace capture/replay (the paper's IPL comparison method)."""
+
+from repro.core.config import SCHEME_2X4, IpaScheme
+from repro.workloads.tpcb import TpcbWorkload
+from repro.workloads.trace import (
+    Trace,
+    TraceEvent,
+    record_trace,
+    replay_on_ipa,
+    replay_on_ipl,
+)
+
+
+def small_trace(transactions=400):
+    return record_trace(
+        TpcbWorkload(scale=1, accounts_per_branch=1500, history_pages=80),
+        transactions=transactions,
+        buffer_pages=16,
+        page_size=2048,
+    )
+
+
+class TestRecordTrace:
+    def test_capture_has_both_kinds(self):
+        trace = small_trace()
+        kinds = {e.kind for e in trace.events}
+        assert kinds == {"miss", "evict"}
+
+    def test_evictions_carry_op_sizes(self):
+        trace = small_trace()
+        evicts = [e for e in trace.events if e.kind == "evict"]
+        assert evicts
+        with_ops = [e for e in evicts if e.op_sizes]
+        assert with_ops  # balance updates produce 1-4 byte ops
+        assert any(all(s <= 4 for s in e.op_sizes) for e in with_ops)
+
+    def test_excludes_load_phase(self):
+        # A tiny run can't have more evictions than misses + txn writes.
+        trace = record_trace(
+            TpcbWorkload(scale=1, accounts_per_branch=1500, history_pages=80),
+            transactions=5,
+            buffer_pages=16,
+            page_size=2048,
+        )
+        evicts = [e for e in trace.events if e.kind == "evict"]
+        assert len(evicts) < 40
+
+    def test_deterministic(self):
+        a, b = small_trace(100), small_trace(100)
+        assert a.events == b.events
+
+
+class TestReplay:
+    def test_ipa_replay_appends(self):
+        trace = small_trace()
+        result = replay_on_ipa(trace, SCHEME_2X4)
+        assert result.device_stats.in_place_appends > 0
+        assert result.physical_writes > 0
+
+    def test_ipl_replay_logs(self):
+        trace = small_trace()
+        result = replay_on_ipl(trace)
+        assert result.device_stats.extra["log_sector_flushes"] > 0
+
+    def test_ipa_beats_ipl_on_writes(self):
+        trace = small_trace(800)
+        ipa = replay_on_ipa(trace, SCHEME_2X4)
+        ipl = replay_on_ipl(trace)
+        assert ipa.physical_writes < ipl.physical_writes
+        assert ipl.flash_reads > ipa.flash_reads
+
+    def test_bigger_scheme_appends_more(self):
+        trace = small_trace(800)
+        small = replay_on_ipa(trace, IpaScheme(1, 4))
+        large = replay_on_ipa(trace, IpaScheme(4, 8))
+        assert (
+            large.device_stats.in_place_appends
+            > small.device_stats.in_place_appends
+        )
+
+    def test_replay_of_synthetic_trace(self):
+        # Hand-built trace: write, small-update evict, miss.
+        trace = Trace(page_size=2048, max_lba=0)
+        trace.events = [
+            TraceEvent(kind="evict", lba=0, op_sizes=(), meta_bytes=0,
+                       net_bytes=2048),  # first write
+            TraceEvent(kind="evict", lba=0, op_sizes=(2,), meta_bytes=10,
+                       net_bytes=2),
+            TraceEvent(kind="miss", lba=0),
+        ]
+        result = replay_on_ipa(trace, SCHEME_2X4)
+        assert result.device_stats.in_place_appends == 1
+        assert result.device_stats.host_reads == 1
