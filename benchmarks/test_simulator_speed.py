@@ -72,6 +72,54 @@ def test_ftl_overwrite_with_gc(benchmark):
     benchmark(overwrite)
 
 
+def test_disabled_observability_overhead():
+    """Observability off must cost <= 5% on the hot write path.
+
+    A/B-times the same overwrite loop on two identical FTL stacks: one
+    untouched (the shared NULL_TRACER class default) and one with a
+    real Tracer attached but *disabled*.  Both must take the
+    one-attribute-test fast path; interleaved min-of-N wall times keep
+    scheduler noise out of the ratio.
+    """
+    import time
+
+    from repro.obs.trace import Tracer
+
+    def build():
+        ftl = PageMappingFtl(FlashChip(GEO), over_provisioning=0.2)
+        rng = np.random.default_rng(1)
+        lbas = rng.integers(0, ftl.logical_pages, size=4096)
+        return ftl, lbas
+
+    payload = b"\xab" * 512
+
+    def timed_pass(ftl, lbas):
+        start = time.perf_counter()
+        for lba in lbas:
+            ftl.write_page(int(lba), payload)
+        return time.perf_counter() - start
+
+    ftl_null, lbas = build()
+    ftl_off, _ = build()
+    tracer = Tracer(clock=ftl_off.chip.clock)
+    tracer.enabled = False  # instance override: attached but disabled
+    ftl_off.tracer = tracer
+    ftl_off._blocks.tracer = tracer
+    ftl_off.chip.tracer = tracer
+
+    # Warm-up (bytecode caches, allocator), then interleaved A/B rounds —
+    # alternating keeps clock-frequency drift out of the comparison.
+    timed_pass(ftl_null, lbas)
+    timed_pass(ftl_off, lbas)
+    base_times, off_times = [], []
+    for _ in range(5):
+        base_times.append(timed_pass(ftl_null, lbas))
+        off_times.append(timed_pass(ftl_off, lbas))
+    ratio = min(off_times) / min(base_times)
+    print(f"\ndisabled-observability overhead: {100 * (ratio - 1):+.1f}%")
+    assert ratio <= 1.05, f"disabled tracer costs {100 * (ratio - 1):.1f}% > 5%"
+
+
 def test_reconstruct_throughput(benchmark):
     image = bytearray(b"\x00" * 4096)
     footer = 4096 - 8

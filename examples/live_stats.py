@@ -1,13 +1,16 @@
 """Live run statistics — the demo GUI's monitoring pane (paper Figure 5).
 
 The EDBT demo let the audience watch throughput evolve during the run.
-This example samples the simulated run every few thousand transactions
-and prints the live series: instantaneous TPS, in-place-append share,
-GC activity, and the simulated-time budget (where the microseconds go).
+This example drives the observability sampler
+(:class:`repro.obs.TimeSeriesSampler`) attached by the harness's
+``observe=`` hook: every ~20 ms of *simulated* time it snapshots the
+cumulative counters of all layers and derives per-second rates — the
+same series `python -m repro obs` renders and exports.
 
 Run:
     python examples/live_stats.py
     python examples/live_stats.py --arch traditional
+    python examples/live_stats.py --csv out.csv
 """
 
 import argparse
@@ -15,12 +18,13 @@ import argparse
 import numpy as np
 
 from repro.bench.harness import ExperimentConfig, build_stack
-from repro.core.config import SCHEME_2X4
+from repro.core.config import IPA_DISABLED, SCHEME_2X4
 from repro.flash.modes import FlashMode
+from repro.obs import Observation, ObserveConfig
+from repro.obs.export import write_samples_csv
 from repro.workloads.tpcb import TpcbWorkload
 
-SLICES = 10
-TXNS_PER_SLICE = 800
+TRANSACTIONS = 8000
 
 
 def main() -> None:
@@ -29,61 +33,54 @@ def main() -> None:
         "--arch", choices=("ipa-native", "ipa-blockdev", "traditional"),
         default="ipa-native",
     )
+    parser.add_argument("--csv", default=None, help="also write the series as CSV")
     args = parser.parse_args()
 
     is_ipa = args.arch.startswith("ipa")
+    workload = TpcbWorkload(scale=1, accounts_per_branch=8000, history_pages=400)
     config = ExperimentConfig(
-        workload=TpcbWorkload(scale=1, accounts_per_branch=8000,
-                              history_pages=400),
+        workload=workload,
         architecture=args.arch,
         mode=FlashMode.PSLC if is_ipa else FlashMode.MLC,
-        scheme=SCHEME_2X4,
-        buffer_pages=24,
-    ) if is_ipa else ExperimentConfig(
-        workload=TpcbWorkload(scale=1, accounts_per_branch=8000,
-                              history_pages=400),
-        architecture=args.arch,
-        mode=FlashMode.MLC,
+        scheme=SCHEME_2X4 if is_ipa else IPA_DISABLED,
         buffer_pages=24,
     )
     db, manager = build_stack(config)
     rng = np.random.default_rng(42)
-    print(f"loading TPC-B ({config.workload.n_accounts} accounts) on "
-          f"{args.arch} ...")
-    config.workload.build(db, rng)
+    print(f"loading TPC-B ({workload.n_accounts} accounts) on {args.arch} ...")
+    workload.build(db, rng)
     manager.clock.reset()
 
-    print(f"\n{'slice':>5} {'sim-time':>9} {'TPS':>7} {'appends':>8} "
-          f"{'oop':>6} {'migr':>6} {'erases':>7}  time budget")
-    previous_device = manager.device.stats.snapshot()
-    previous_time = 0.0
-    previous_txns = 0
-    for slice_no in range(1, SLICES + 1):
-        for _ in range(TXNS_PER_SLICE):
-            config.workload.transaction(db, rng)
-        now = manager.clock.now_s
-        txns = db.txn_stats.committed
-        device = manager.device.stats
-        diff = device.diff(previous_device)
-        tps = (txns - previous_txns) / max(now - previous_time, 1e-9)
-        budget = manager.clock.breakdown_us
-        total = sum(budget.values()) or 1.0
-        budget_line = " ".join(
-            f"{k}:{100 * v / total:.0f}%"
-            for k, v in sorted(budget.items(), key=lambda kv: -kv[1])[:4]
-        )
-        print(f"{slice_no:>5} {now:>8.2f}s {tps:>7.0f} "
-              f"{diff.in_place_appends:>8} {diff.out_of_place_writes:>6} "
-              f"{diff.gc_page_migrations:>6} {diff.gc_erases:>7}  "
-              f"{budget_line}")
-        previous_device = device.snapshot()
-        previous_time = now
-        previous_txns = txns
+    obs = Observation.create(db=db, manager=manager,
+                             config=ObserveConfig(sample_interval_s=0.02))
+    sampler = obs.sampler
+
+    header = (f"{'t (sim s)':>9} {'TPS':>7} {'appends':>8} {'oop':>6} "
+              f"{'GC migr':>7} {'erases':>7} {'free blk':>8} {'W-amp':>6}")
+    print(f"\n{header}")
+    shown = 0
+    for _ in range(TRANSACTIONS):
+        workload.transaction(db, rng)
+        if sampler.maybe_sample():
+            row = sampler.samples[-1]
+            print(f"{row['t_s']:>9.3f} {row.get('txns_per_s', 0.0):>7.0f} "
+                  f"{row['in_place_appends']:>8.0f} "
+                  f"{row['host_writes'] - row['in_place_appends']:>6.0f} "
+                  f"{row['gc_migrations']:>7.0f} {row['gc_erases']:>7.0f} "
+                  f"{row['free_blocks']:>8.0f} {row['write_amp']:>6.2f}")
+            shown += 1
 
     db.checkpoint()
+    sampler.sample_now()
+    if args.csv:
+        write_samples_csv(args.csv, sampler.samples, sampler.columns)
+        print(f"\n{len(sampler.samples)} samples written to {args.csv}")
+
     print(f"\nfinal: {db.txn_stats.committed} txns in "
           f"{manager.clock.now_s:.2f} simulated s "
-          f"({db.txn_stats.committed / manager.clock.now_s:,.0f} TPS)")
+          f"({db.txn_stats.committed / manager.clock.now_s:,.0f} TPS), "
+          f"{len(sampler.samples)} samples, "
+          f"GC attribution {obs.gc_attribution_rate():.0%}")
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ plus the demo runner:
     python -m repro ipl-sweep         # A4  — IPL sizing sweep
     python -m repro ycsb              # E10 — YCSB extension
     python -m repro latency           # E11 — transaction tail latency
+    python -m repro obs [--fast]      # observed run: spans, GC attribution
     python -m repro all [--fast] [--out FILE]   # regenerate EXPERIMENTS.md
     python -m repro demo [...]        # the EDBT demo scenarios (CLI GUI)
 """
@@ -56,6 +57,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.ycsb_mixes import main as run
     elif command == "latency":
         from repro.bench.tail_latency import main as run
+    elif command == "obs":
+        from repro.obs.report import main as run
     elif command == "all":
         from repro.bench.run_all import main as run
     elif command == "demo":

@@ -33,6 +33,7 @@ import numpy as np
 from repro.flash.chip import FlashChip
 from repro.flash.stats import DeviceStats
 from repro.ftl.interface import DeviceFullError
+from repro.obs.trace import NULL_TRACER
 from repro.storage.buffer import Frame
 from repro.storage.manager import StorageManager, WritePolicy
 
@@ -134,6 +135,9 @@ class IplStore:
     :meth:`log_update`.
     """
 
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    tracer = NULL_TRACER
+
     def __init__(self, chip: FlashChip, config: IplConfig | None = None) -> None:
         self.chip = chip
         self.config = config or IplConfig()
@@ -159,8 +163,17 @@ class IplStore:
         self._max_sectors = (
             self.config.log_pages_per_block * self._sectors_per_log_page
         )
-        self.stats.extra.update(
-            {"log_sector_flushes": 0, "merges": 0, "log_page_reads": 0}
+        # Registered metrics (backed by stats.extra, so dict readers still
+        # see the same keys) replacing the old untyped extra.update pokes.
+        metrics = self.stats.metrics
+        self._m_sector_flushes = metrics.counter(
+            "log_sector_flushes", help="log sectors partially programmed"
+        )
+        self._m_merges = metrics.counter(
+            "merges", help="block merges (IPL's GC)"
+        )
+        self._m_log_page_reads = metrics.counter(
+            "log_page_reads", help="log pages read for reconstruction/merge"
         )
 
     @property
@@ -246,7 +259,7 @@ class IplStore:
         block.used_sectors += 1
         block.membuf = bytearray()
         self.stats.host_writes += 1
-        self.stats.extra["log_sector_flushes"] += 1
+        self._m_sector_flushes.inc()
 
     # ------------------------------------------------------------------ #
     # Merge (IPL's GC)
@@ -254,11 +267,20 @@ class IplStore:
 
     def _merge(self, block: _BlockState) -> None:
         """Apply all logs and rewrite the block into a spare."""
+        tr = self.tracer
+        if not tr.enabled:
+            self._merge_inner(block, None)
+            return
+        with tr.span("gc_erase", kind="ipl_merge", logical=block.logical) as span:
+            self._merge_inner(block, span)
+
+    def _merge_inner(self, block: _BlockState, span) -> None:
         if not self._spares:
             raise DeviceFullError("no spare block for IPL merge")
         logs = self._collect_logs(block)
         new_phys = self._spares.pop(0)
         old_phys = block.phys
+        migrated = 0
         for data_index in sorted(block.written):
             ppn = self._data_ppn(block, data_index)
             image = bytearray(self.chip.read_page(ppn))
@@ -268,9 +290,12 @@ class IplStore:
             new_ppn = self.chip.geometry.make_ppn(new_phys, data_index)
             self.chip.program_page(new_ppn, bytes(image))
             self.stats.gc_page_migrations += 1
+            migrated += 1
+        if span is not None:
+            span.set(victim=old_phys, migrated=migrated)
         self.chip.erase_block(old_phys)
         self.stats.gc_erases += 1
-        self.stats.extra["merges"] += 1
+        self._m_merges.inc()
         self._spares.append(old_phys)
         block.phys = new_phys
         block.used_sectors = 0
@@ -284,7 +309,7 @@ class IplStore:
             ppn, offset = self._log_ppn(block, sector_index)
             if ppn not in read_pages:
                 read_pages[ppn] = self.chip.read_page(ppn)
-                self.stats.extra["log_page_reads"] += 1
+                self._m_log_page_reads.inc()
             sector = read_pages[ppn][offset : offset + self.config.sector_size]
             for lba, pairs in decode_entries(sector):
                 logs.setdefault(lba, []).extend(pairs)
@@ -316,7 +341,7 @@ class IplStore:
             ppn, _ = self._log_ppn(block, first_sector)
             page_bytes = self.chip.read_page(ppn)
             self.stats.host_reads += 1
-            self.stats.extra["log_page_reads"] += 1
+            self._m_log_page_reads.inc()
             sectors_here = min(
                 self._sectors_per_log_page,
                 block.used_sectors - first_sector,

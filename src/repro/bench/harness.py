@@ -26,6 +26,7 @@ from repro.flash.stats import DeviceStats, FlashStats
 from repro.ftl.ipa_ftl import IpaFtl
 from repro.ftl.noftl import IpaRegionConfig, NoFtlDevice
 from repro.ftl.page_mapping import PageMappingFtl
+from repro.obs import Observation, ObserveConfig
 from repro.storage.manager import (
     IpaBlockDevicePolicy,
     IpaNativePolicy,
@@ -147,6 +148,18 @@ class ExperimentResult:
     extra: dict = field(default_factory=dict)
 
 
+@dataclass
+class ObservedResult(ExperimentResult):
+    """An :class:`ExperimentResult` plus the attached observability bundle.
+
+    Returned by :func:`run_experiment` when ``observe=`` is passed; the
+    :attr:`observation` carries the metrics registry, the span trace and
+    the time series (see :class:`repro.obs.Observation`).
+    """
+
+    observation: Optional[Observation] = None
+
+
 def _auto_geometry(config: ExperimentConfig) -> FlashGeometry:
     """Size the chip so the DB fills ``device_utilization`` of it.
 
@@ -229,8 +242,21 @@ def build_stack(
     return Database(manager), manager
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Load, reset counters, run the transaction budget, measure."""
+def run_experiment(
+    config: ExperimentConfig,
+    observe: "bool | ObserveConfig | None" = None,
+) -> ExperimentResult:
+    """Load, reset counters, run the transaction budget, measure.
+
+    Args:
+        config: The stack + workload description.
+        observe: ``True`` (default knobs) or an :class:`ObserveConfig`
+            to attach the observability bundle — span tracing across
+            every layer, a metrics registry and a time-series sampler.
+            The return type is then :class:`ObservedResult` and its
+            ``observation`` field holds the bundle.  ``None``/``False``
+            (the default) runs un-instrumented at full speed.
+    """
     db, manager = build_stack(config)
     rng = np.random.default_rng(config.seed)
     config.workload.build(db, rng)
@@ -239,6 +265,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     # Benchmark phase: counters and clock cover only what follows.
     # ------------------------------------------------------------------ #
     manager.clock.reset()
+    obs: Optional[Observation] = None
+    if observe:
+        obs_config = observe if isinstance(observe, ObserveConfig) else None
+        obs = Observation.create(manager, db=db, config=obs_config)
     device_before: DeviceStats = manager.device.stats.snapshot()
     flash_before: FlashStats = manager.device.chip.stats.snapshot()
     mgr_ipa_before = manager.stats.ipa_flushes
@@ -257,16 +287,27 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         while manager.clock.now_s < config.duration_s:
             start_us = manager.clock.now_us
             config.workload.transaction(db, rng)
-            latencies.append(manager.clock.now_us - start_us)
+            latency = manager.clock.now_us - start_us
+            latencies.append(latency)
+            if obs is not None:
+                obs.txn_latency.observe(latency)
+                obs.sampler.maybe_sample()
     else:
         for _ in range(config.transactions):
             start_us = manager.clock.now_us
             config.workload.transaction(db, rng)
-            latencies.append(manager.clock.now_us - start_us)
+            latency = manager.clock.now_us - start_us
+            latencies.append(latency)
+            if obs is not None:
+                obs.txn_latency.observe(latency)
+                obs.sampler.maybe_sample()
 
     db.checkpoint()
     if isinstance(manager.device, IplStore):
         manager.device.flush_log_buffers()
+    if obs is not None:
+        obs.sampler.sample_now()
+        obs.close()  # flush the JSONL sink; the ring buffer stays live
 
     device = manager.device.stats.diff(device_before)
     flash = manager.device.chip.stats.diff(flash_before)
@@ -276,7 +317,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     hits = pool.stats.hits - hits_before
     total_host_writes = device.host_writes + device.host_delta_writes
 
-    return ExperimentResult(
+    result_cls = ObservedResult if obs is not None else ExperimentResult
+    result = result_cls(
         config_label=config.display_label(),
         workload=config.workload.name,
         transactions=committed,
@@ -324,3 +366,6 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             },
         },
     )
+    if obs is not None:
+        result.observation = obs
+    return result

@@ -28,8 +28,16 @@ class LatencyRow:
     result: ExperimentResult
 
 
-def run(transactions: int = 4000) -> list[LatencyRow]:
-    """Run the baseline/IPA pair and collect latency percentiles."""
+def run(transactions: int = 4000, observe=None) -> list[LatencyRow]:
+    """Run the baseline/IPA pair and collect latency percentiles.
+
+    Args:
+        transactions: Transaction budget per configuration.
+        observe: Passed through to :func:`run_experiment`; with tracing
+            on, each row's ``result.observation`` lets callers *explain*
+            the tail — every inline GC erase is a span attributed to the
+            transaction that tripped it.
+    """
 
     def workload():
         return TpcbWorkload(
@@ -52,7 +60,8 @@ def run(transactions: int = 4000) -> list[LatencyRow]:
                 transactions=transactions,
                 buffer_pages=24,
                 label=label,
-            )
+            ),
+            observe=observe,
         )
         rows.append(LatencyRow(label=label, result=result))
     return rows

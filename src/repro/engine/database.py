@@ -162,6 +162,13 @@ class Database:
         self.tables: dict[str, Table] = {}
         self.txn_stats = TransactionStats()
         self._next_file_id = 1
+        self._next_txn_id = 1
+
+    def take_txn_id(self) -> int:
+        """Monotonic transaction id (used by tracing only)."""
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return txn_id
 
     def create_table(
         self,

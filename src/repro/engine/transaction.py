@@ -28,13 +28,27 @@ class Transaction:
         self._db = db
         self.txn_type = txn_type
         self.committed = False
+        #: Assigned on __enter__ when tracing is on; stamped into every
+        #: span opened while this transaction is the ambient context.
+        self.txn_id: int | None = None
+        self._span = None
 
     def __enter__(self) -> "Transaction":
+        tracer = self._db.manager.tracer
+        if tracer.enabled:
+            self.txn_id = self._db.take_txn_id()
+            self._span = tracer.begin_txn(self.txn_id, self.txn_type)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None and not self.committed:
-            self.commit()
+        try:
+            if exc_type is None and not self.committed:
+                self.commit()
+        finally:
+            if self._span is not None:
+                self._span.set(committed=self.committed)
+                self._db.manager.tracer.end_txn(self._span)
+                self._span = None
 
     def commit(self) -> None:
         """Commit: force the WAL (if any), charge host cost, count."""

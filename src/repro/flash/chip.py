@@ -35,6 +35,7 @@ from repro.flash.latency import DEFAULT_LATENCY, LatencyModel, SimClock
 from repro.flash.modes import FlashMode, ModeRules, rules_for
 from repro.flash.page import PageState, PhysicalPage
 from repro.flash.stats import FlashStats
+from repro.obs.trace import NULL_TRACER
 
 
 class FlashChip:
@@ -49,6 +50,9 @@ class FlashChip:
         seed: Seed for the deterministic disturb model.
         endurance_limit: Optional block P/E limit (``None`` = unlimited).
     """
+
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -253,6 +257,9 @@ class FlashChip:
         self.blocks[block_idx].erase()
         self.clock.advance(self.latency.erase_us, "erase")
         self.stats.block_erases += 1
+        tr = self.tracer
+        if tr.enabled:
+            tr.record("chip_erase", dur_us=self.latency.erase_us, block=block_idx)
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -292,6 +299,14 @@ class FlashChip:
         self.clock.advance(op_us, "program")
         self.clock.advance(self.latency.transfer_us(nbytes), "bus")
         self.stats.bytes_programmed += nbytes
+        tr = self.tracer
+        if tr.enabled and getattr(tr, "trace_chip_ops", False):
+            tr.record(
+                "chip_reprogram" if reprogram else "chip_program",
+                dur_us=op_us,
+                block=block_idx,
+                page=page_idx,
+            )
         self._apply_interference(block_idx, page_idx, reprogram)
 
     def _apply_interference(

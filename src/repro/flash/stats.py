@@ -69,6 +69,25 @@ class DeviceStats:
     extra: dict = field(default_factory=dict)
 
     @property
+    def metrics(self):
+        """Registry of auxiliary counters, backed by ``extra``.
+
+        The registry's scalar store *is* the ``extra`` dict, so
+        ``stats.extra["merges"]`` and
+        ``stats.metrics.counter("merges").value`` read/write the same
+        storage — typed, named registration without breaking any legacy
+        dict reader.  Created lazily (snapshots/diffs never pay for it)
+        and rebound if ``extra`` is ever replaced wholesale.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = self.__dict__.get("_registry")
+        if registry is None or registry.store is not self.extra:
+            registry = MetricsRegistry(enabled=True, store=self.extra)
+            self.__dict__["_registry"] = registry
+        return registry
+
+    @property
     def total_host_write_ops(self) -> int:
         """Whole-page writes plus delta writes (the Table-1 denominator)."""
         return self.host_writes + self.host_delta_writes
@@ -98,7 +117,14 @@ class DeviceStats:
         return copy
 
     def diff(self, earlier: "DeviceStats") -> "DeviceStats":
-        """Counters accumulated since ``earlier`` was snapshotted."""
+        """Counters accumulated since ``earlier`` was snapshotted.
+
+        Numeric ``extra`` entries are intervals too — subtracting
+        ``earlier``'s values keeps ``merges`` / ``log_page_reads`` /
+        ``wear_leveling_moves`` honest in interval reports (they used to
+        be copied cumulatively, over-reporting every interval after the
+        first).  Non-numeric entries are carried over as-is.
+        """
         out = DeviceStats(
             **{
                 f.name: getattr(self, f.name) - getattr(earlier, f.name)
@@ -106,13 +132,22 @@ class DeviceStats:
                 if f.name != "extra"
             }
         )
-        out.extra = dict(self.extra)
+        for key, value in self.extra.items():
+            before = earlier.extra.get(key, 0)
+            if isinstance(value, (int, float)) and isinstance(before, (int, float)):
+                out.extra[key] = value - before
+            else:
+                out.extra[key] = value
         return out
 
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero all counters.
+
+        ``extra`` is cleared in place (not replaced) so metric objects
+        bound to it via :attr:`metrics` stay live across resets.
+        """
         for f in fields(self):
             if f.name == "extra":
-                self.extra = {}
+                self.extra.clear()
             else:
                 setattr(self, f.name, 0)

@@ -17,6 +17,7 @@ from repro.flash.chip import FlashChip
 from repro.flash.errors import BadBlockError
 from repro.flash.stats import DeviceStats
 from repro.ftl.interface import DeviceFullError
+from repro.obs.trace import NULL_TRACER
 
 
 class BlockManager:
@@ -43,6 +44,9 @@ class BlockManager:
             matters only for workloads with placement-aware callers.
     """
 
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    tracer = NULL_TRACER
+
     def __init__(
         self,
         chip: FlashChip,
@@ -64,6 +68,15 @@ class BlockManager:
             )
         self.chip = chip
         self.stats = stats
+        # Registered metrics replacing the old untyped stats.extra pokes;
+        # the registry is backed by stats.extra, so legacy readers see
+        # exactly the same keys.
+        self._m_wear_moves = stats.metrics.counter(
+            "wear_leveling_moves", help="static wear-leveling victim picks"
+        )
+        self._m_retired = stats.metrics.counter(
+            "retired_blocks", help="blocks retired after exceeding endurance"
+        )
         self.block_ids = list(block_ids)
         self.gc_spare_blocks = gc_spare_blocks
         self.wear_leveling_gap = wear_leveling_gap
@@ -212,6 +225,15 @@ class BlockManager:
         level progress per iteration is ``usable - valid(victim) > 0`` and
         the loop terminates unless every block is fully valid.
         """
+        tr = self.tracer
+        if not tr.enabled:
+            self._collect_inner()
+            return
+        with tr.span("gc_collect", free_before=len(self._free)) as span:
+            self._collect_inner()
+            span.set(free_after=len(self._free))
+
+    def _collect_inner(self) -> None:
         guard = 4 * len(self.block_ids)
         while len(self._free) <= self.gc_spare_blocks:
             victim = self._pick_victim()
@@ -250,9 +272,7 @@ class BlockManager:
         hottest = max(erase_of(b) for b in self.block_ids)
         coldest = min(candidates, key=erase_of)
         if hottest - erase_of(coldest) > self.wear_leveling_gap:
-            self.stats.extra["wear_leveling_moves"] = (
-                self.stats.extra.get("wear_leveling_moves", 0) + 1
-            )
+            self._m_wear_moves.inc()
             return coldest
         return None
 
@@ -265,7 +285,16 @@ class BlockManager:
         shrinks by one block; sustained retirement eventually surfaces as
         :class:`DeviceFullError`, which is the physical truth.
         """
+        tr = self.tracer
+        if not tr.enabled:
+            self._reclaim_inner(victim, None)
+            return
+        with tr.span("gc_erase", victim=victim) as span:
+            self._reclaim_inner(victim, span)
+
+    def _reclaim_inner(self, victim: int, span) -> None:
         geometry = self.chip.geometry
+        migrated = 0
         for page_offset in self._usable_offsets:
             ppn = geometry.make_ppn(victim, page_offset)
             lba = self._rmap.get(ppn)
@@ -280,9 +309,14 @@ class BlockManager:
             self._valid[victim] -= 1
             self._map(lba, new_ppn)
             self.stats.gc_page_migrations += 1
+            migrated += 1
+        if span is not None:
+            span.set(migrated=migrated)
         try:
             self.chip.erase_block(victim)
         except BadBlockError:
+            if span is not None:
+                span.set(retired=True)
             self._retire(victim)
             return
         self.stats.gc_erases += 1
@@ -292,6 +326,4 @@ class BlockManager:
         """Remove a worn-out block from circulation."""
         self.block_ids.remove(block_id)
         self._valid.pop(block_id, None)
-        self.stats.extra["retired_blocks"] = (
-            self.stats.extra.get("retired_blocks", 0) + 1
-        )
+        self._m_retired.inc()

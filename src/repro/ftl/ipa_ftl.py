@@ -19,6 +19,7 @@ from repro.flash.cellmodel import slc_transition_legal
 from repro.flash.chip import FlashChip
 from repro.flash.stats import DeviceStats
 from repro.ftl.gc import BlockManager
+from repro.obs.trace import NULL_TRACER
 
 
 class IpaFtl:
@@ -30,6 +31,9 @@ class IpaFtl:
         over_provisioning: As for the conventional FTL.
         gc_spare_blocks: As for the conventional FTL.
     """
+
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -73,14 +77,24 @@ class IpaFtl:
 
     def write_page(self, lba: int, data: bytes) -> None:
         """Write a page; reprogram in place when physically possible."""
+        tr = self.tracer
+        if not tr.enabled:
+            self._write_page_inner(lba, data)
+            return
+        with tr.span("ftl_write", lba=lba) as span:
+            span.set(in_place=self._write_page_inner(lba, data))
+
+    def _write_page_inner(self, lba: int, data: bytes) -> bool:
+        """Returns True when the write landed in place (no invalidation)."""
         self.stats.host_writes += 1
         self.stats.host_bytes_written += len(data)
         ppn = self._blocks.ppn_of(lba)
         if ppn is not None and self._try_in_place(ppn, data):
             self.stats.in_place_appends += 1
-            return
+            return True
         self._blocks.write(lba, data)
         self.stats.out_of_place_writes += 1
+        return False
 
     def _try_in_place(self, ppn: int, data: bytes) -> bool:
         """Device-internal compare + reprogram; False if not applicable."""

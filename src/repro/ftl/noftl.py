@@ -24,6 +24,7 @@ from repro.flash.ecc import OobLayout, crc_slot
 from repro.flash.errors import IllegalProgramError, ModeViolationError
 from repro.flash.stats import DeviceStats
 from repro.ftl.gc import BlockManager
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,9 @@ class Region:
 
     Not constructed directly — use :meth:`NoFtlDevice.create_region`.
     """
+
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -108,6 +112,14 @@ class Region:
         return data
 
     def write_page(self, lba: int, data: bytes) -> None:
+        tr = self.tracer
+        if not tr.enabled:
+            self._write_page_inner(lba, data)
+            return
+        with tr.span("ftl_write", lba=lba, region=self.name):
+            self._write_page_inner(lba, data)
+
+    def _write_page_inner(self, lba: int, data: bytes) -> None:
         self.stats.host_writes += 1
         self.stats.host_bytes_written += len(data)
         oob = None
@@ -152,6 +164,15 @@ class Region:
         self.stats.host_delta_writes += 1
         self.stats.host_bytes_written += len(payload)
         self.stats.in_place_appends += 1
+        tr = self.tracer
+        if tr.enabled:
+            tr.record(
+                "write_delta",
+                lba=lba,
+                region=self.name,
+                nbytes=len(payload),
+                slot=used + 1,
+            )
         return True
 
     def appends_on(self, lba: int) -> int:
@@ -197,11 +218,15 @@ class NoFtlDevice:
 
         Regions keep their own :class:`DeviceStats` (see
         :meth:`region_report`); callers that snapshot/diff the device
-        stats get a freshly computed aggregate each access.
+        stats get a freshly computed aggregate each access.  Extra
+        counters are merged through the aggregate's metrics registry,
+        which types the merge (counters add; anything non-numeric would
+        be a registration error rather than a silently clobbered value).
         """
         from dataclasses import fields
 
         aggregate = DeviceStats()
+        metrics = aggregate.metrics
         for region in self.regions:
             for f in fields(DeviceStats):
                 if f.name == "extra":
@@ -212,10 +237,7 @@ class NoFtlDevice:
                     getattr(aggregate, f.name) + getattr(region.stats, f.name),
                 )
             for key, value in region.stats.extra.items():
-                if isinstance(value, (int, float)):
-                    aggregate.extra[key] = aggregate.extra.get(key, 0) + value
-                else:
-                    aggregate.extra[key] = value
+                metrics.counter(key).inc(value)
         return aggregate
 
     def region_report(self) -> str:

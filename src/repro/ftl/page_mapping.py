@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.flash.chip import FlashChip
 from repro.flash.stats import DeviceStats
 from repro.ftl.gc import BlockManager
+from repro.obs.trace import NULL_TRACER
 
 
 class PageMappingFtl:
@@ -22,6 +23,9 @@ class PageMappingFtl:
         over_provisioning: Usable-page fraction withheld for GC headroom.
         gc_spare_blocks: Free-block low watermark triggering GC.
     """
+
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -67,6 +71,14 @@ class PageMappingFtl:
 
     def write_page(self, lba: int, data: bytes) -> None:
         """Out-of-place write (always, for the conventional device)."""
+        tr = self.tracer
+        if not tr.enabled:
+            self._write_page_inner(lba, data)
+            return
+        with tr.span("ftl_write", lba=lba, in_place=False):
+            self._write_page_inner(lba, data)
+
+    def _write_page_inner(self, lba: int, data: bytes) -> None:
         self.stats.host_writes += 1
         self.stats.host_bytes_written += len(data)
         self._blocks.write(lba, data)

@@ -1,0 +1,268 @@
+"""Unified observability: metrics, tracing, time-series sampling.
+
+This package is the instrumentation spine of the reproduction:
+
+* :mod:`repro.obs.metrics` — named counters / gauges / histograms;
+* :mod:`repro.obs.trace`   — cross-layer spans on the simulated clock;
+* :mod:`repro.obs.sampler` — periodic time-series snapshots;
+* :mod:`repro.obs.export`  — CSV and Prometheus-text exporters;
+* :mod:`repro.obs.report`  — the ``python -m repro obs`` post-run report.
+
+The one-call entry point is the harness hook::
+
+    from repro.bench.harness import ExperimentConfig, run_experiment
+    result = run_experiment(config, observe=True)      # ObservedResult
+    result.observation.tracer.by_name("gc_erase")      # attributed stalls
+    result.observation.sampler.samples                 # time series
+    result.observation.export_prometheus()             # scrapeable text
+
+Everything is off by default: un-observed stacks see only the shared
+:data:`~repro.obs.trace.NULL_TRACER` / :data:`~repro.obs.metrics.NULL_REGISTRY`
+singletons, whose cost is one attribute test per instrumented site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Optional
+
+from repro.obs.export import (
+    registry_to_prometheus,
+    samples_to_csv,
+    write_samples_csv,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    MetricsRegistry,
+    NULL_METRIC,
+    NULL_REGISTRY,
+)
+from repro.obs.sampler import TimeSeriesSampler, free_block_depth
+from repro.obs.trace import (
+    JsonlSink,
+    NULL_TRACER,
+    Tracer,
+    attribute_gc_erases,
+    gc_attribution_rate,
+)
+
+__all__ = [
+    "ObserveConfig",
+    "Observation",
+    "attach_tracer",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_METRIC",
+    "Tracer",
+    "NULL_TRACER",
+    "JsonlSink",
+    "TimeSeriesSampler",
+    "free_block_depth",
+    "samples_to_csv",
+    "write_samples_csv",
+    "registry_to_prometheus",
+    "attribute_gc_erases",
+    "gc_attribution_rate",
+    "DEFAULT_LATENCY_BUCKETS_US",
+]
+
+
+@dataclass
+class ObserveConfig:
+    """Knobs of the ``observe=`` harness hook.
+
+    Attributes:
+        sample_interval_s: Sampler period in *simulated* seconds.
+        trace_path: When set, every finished span is appended to this
+            JSONL file as it closes (the ring buffer is kept as well).
+        trace_capacity: Ring-buffer size for finished spans.
+        trace_chip_ops: Also record leaf spans for physical programs /
+            reprograms (erases are always recorded).  High-volume; off
+            by default.
+    """
+
+    sample_interval_s: float = 0.02
+    trace_path: Optional[str] = None
+    trace_capacity: int = 200_000
+    trace_chip_ops: bool = False
+
+
+def attach_tracer(manager, tracer) -> None:
+    """Point every instrumented layer of a built stack at ``tracer``.
+
+    Instrumented classes carry a class-level ``tracer = NULL_TRACER``
+    default; attaching sets instance attributes on the manager, its
+    buffer pool, the device, the device's block managers / regions and
+    the chip.  Safe to call on any :class:`FlashBackend` shape.
+    """
+    tracer.bind_clock(manager.clock)
+    manager.tracer = tracer
+    manager.pool.tracer = tracer
+    device = manager.device
+    device.tracer = tracer
+    chip = getattr(device, "chip", None)
+    if chip is not None:
+        chip.tracer = tracer
+    blocks = getattr(device, "_blocks", None)  # PageMappingFtl / IpaFtl
+    if blocks is not None and hasattr(type(blocks), "tracer"):
+        blocks.tracer = tracer  # IplStore's _blocks is a plain list; skip
+    for region in getattr(device, "regions", ()):  # NoFtlDevice
+        region.tracer = tracer
+        region._blocks.tracer = tracer
+
+
+def _register_stats_views(
+    registry: MetricsRegistry, getter, prefix: str, kind: str = "counter"
+) -> None:
+    """Expose every numeric field of a stats dataclass as a callback.
+
+    ``getter`` is re-evaluated on every collection, so it works for
+    ``NoFtlDevice.stats`` (a property computing a fresh aggregate) as
+    well as for plain attribute-held dataclasses.
+    """
+    sample = getter()
+    for f in dataclass_fields(sample):
+        if not isinstance(getattr(sample, f.name), (int, float)):
+            continue
+        registry.register_callback(
+            f"{prefix}{f.name}",
+            (lambda g=getter, n=f.name: getattr(g(), n)),
+            help=f"{type(sample).__name__}.{f.name}",
+            kind=kind,
+        )
+
+
+class Observation:
+    """The attached observability bundle of one experiment run.
+
+    Build with :meth:`create` on a stack from
+    :func:`~repro.bench.harness.build_stack`; the harness does this for
+    you when ``observe=`` is passed to ``run_experiment``.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Tracer,
+        sampler: TimeSeriesSampler,
+        config: ObserveConfig,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.sampler = sampler
+        self.config = config
+        #: Per-transaction simulated latency (us).
+        self.txn_latency = registry.histogram(
+            "txn_latency_us",
+            help="simulated per-transaction latency",
+            bounds=DEFAULT_LATENCY_BUCKETS_US,
+        )
+        self._device_registries: list[MetricsRegistry] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, manager, db=None, config: ObserveConfig | None = None) -> "Observation":
+        """Attach a fresh registry + tracer + sampler to a built stack."""
+        config = config or ObserveConfig()
+        registry = MetricsRegistry(enabled=True)
+        sink = JsonlSink(config.trace_path) if config.trace_path else None
+        tracer = Tracer(
+            clock=manager.clock, capacity=config.trace_capacity, sink=sink
+        )
+        tracer.trace_chip_ops = config.trace_chip_ops
+        attach_tracer(manager, tracer)
+
+        obs = cls(registry, tracer, sampler=None, config=config)  # type: ignore[arg-type]
+
+        device = manager.device
+        chip = device.chip
+        _register_stats_views(registry, lambda: device.stats, "device_")
+        _register_stats_views(registry, lambda: chip.stats, "flash_")
+        _register_stats_views(registry, lambda: manager.stats, "manager_")
+        _register_stats_views(registry, lambda: manager.pool.stats, "buffer_")
+        for category in ("read", "program", "erase", "bus", "host", "other"):
+            registry.register_callback(
+                f"clock_{category}_us",
+                (lambda c=category, clk=manager.clock: clk.breakdown_us.get(c, 0.0)),
+                help=f"simulated time spent in {category}",
+                kind="counter",
+            )
+        regions = getattr(device, "regions", None)
+        if regions:
+            # NoFtlDevice.stats is a computed aggregate; the live extra
+            # counters belong to the per-region stats objects.
+            obs._device_registries = [r.stats.metrics for r in regions]
+        else:
+            obs._device_registries = [device.stats.metrics]
+
+        collectors = {
+            "invalidations": lambda: device.stats.page_invalidations,
+            "gc_erases": lambda: device.stats.gc_erases,
+            "gc_migrations": lambda: device.stats.gc_page_migrations,
+            "host_writes": lambda: device.stats.total_host_write_ops,
+            "in_place_appends": lambda: device.stats.in_place_appends,
+            "flash_reprograms": lambda: chip.stats.page_reprograms,
+            "free_blocks": lambda: free_block_depth(device),
+            "write_amp": lambda: (
+                chip.stats.bytes_programmed
+                / max(device.stats.host_bytes_written, 1)
+            ),
+        }
+        if db is not None:
+            collectors["txns"] = lambda: db.txn_stats.committed
+        sampler = TimeSeriesSampler(
+            manager.clock,
+            interval_s=config.sample_interval_s,
+            collectors=collectors,
+            rates=(
+                "invalidations", "gc_erases", "gc_migrations",
+                "host_writes", "in_place_appends", "flash_reprograms",
+                "txns",
+            ) if db is not None else (
+                "invalidations", "gc_erases", "gc_migrations",
+                "host_writes", "in_place_appends", "flash_reprograms",
+            ),
+        )
+        obs.sampler = sampler
+        return obs
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors / exporters
+    # ------------------------------------------------------------------ #
+
+    @property
+    def samples(self) -> list[dict]:
+        return self.sampler.samples
+
+    def spans(self) -> list:
+        return self.tracer.finished()
+
+    def gc_attribution(self) -> list[dict]:
+        """Per gc_erase span: host write + transaction that paid for it."""
+        return attribute_gc_erases(self.tracer.finished())
+
+    def gc_attribution_rate(self) -> float:
+        return gc_attribution_rate(self.tracer.finished())
+
+    def export_csv(self) -> str:
+        return samples_to_csv(self.sampler.samples, self.sampler.columns)
+
+    def export_prometheus(self, prefix: str = "repro_") -> str:
+        """Run registry plus every device-level extra-counter registry."""
+        parts = [registry_to_prometheus(self.registry, prefix=prefix)]
+        seen: set[int] = set()
+        for reg in self._device_registries:
+            if id(reg) in seen:
+                continue
+            seen.add(id(reg))
+            text = registry_to_prometheus(reg, prefix=prefix + "device_extra_")
+            if text:
+                parts.append(text)
+        return "".join(parts)
+
+    def close(self) -> None:
+        """Flush and close the trace sink (if any)."""
+        self.tracer.close()

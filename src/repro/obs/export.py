@@ -1,0 +1,112 @@
+"""Exporters: time-series CSV and Prometheus text exposition format.
+
+Both are plain-text, dependency-free formats:
+
+* :func:`samples_to_csv` — one row per sampler snapshot, suitable for
+  pandas / gnuplot / spreadsheet post-processing;
+* :func:`registry_to_prometheus` — the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` / sample lines, histograms with
+  cumulative ``_bucket`` series), so a run's metrics can be diffed or
+  scraped with standard tooling.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Iterable, Sequence
+
+from repro.obs.metrics import CallbackMetric, Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "samples_to_csv",
+    "write_samples_csv",
+    "registry_to_prometheus",
+    "parse_prometheus",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """Sanitize to a legal Prometheus metric name."""
+    sanitized = _NAME_RE.sub("_", prefix + name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def samples_to_csv(samples: Iterable[dict], columns: Sequence[str] | None = None) -> str:
+    """Render sampler rows as CSV text (header + one line per sample)."""
+    rows = list(samples)
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    out = io.StringIO()
+    out.write(",".join(columns) + "\n")
+    for row in rows:
+        out.write(
+            ",".join(_fmt(row.get(col, "")) for col in columns) + "\n"
+        )
+    return out.getvalue()
+
+
+def write_samples_csv(
+    path: str, samples: Iterable[dict], columns: Sequence[str] | None = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(samples_to_csv(samples, columns))
+
+
+def registry_to_prometheus(
+    registry: MetricsRegistry, prefix: str = "repro_"
+) -> str:
+    """Render every registered metric in Prometheus text format."""
+    out = io.StringIO()
+    for metric in registry.collect():
+        name = _prom_name(metric.name, prefix)
+        if metric.help:
+            out.write(f"# HELP {name} {metric.help}\n")
+        if isinstance(metric, Histogram):
+            out.write(f"# TYPE {name} histogram\n")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                cumulative += count
+                out.write(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}\n')
+            cumulative += metric.bucket_counts[-1]
+            out.write(f'{name}_bucket{{le="+Inf"}} {cumulative}\n')
+            out.write(f"{name}_sum {_fmt(metric.sum)}\n")
+            out.write(f"{name}_count {metric.count}\n")
+        elif isinstance(metric, (Counter, Gauge, CallbackMetric)):
+            out.write(f"# TYPE {name} {metric.kind}\n")
+            out.write(f"{name} {_fmt(metric.value)}\n")
+    return out.getvalue()
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Minimal parser for the text format (round-trip tests / tooling).
+
+    Returns sample name (including any ``{labels}``) -> value; comment
+    and blank lines are skipped.  Raises ValueError on malformed lines,
+    which is what "the export parses cleanly" means in the tests.
+    """
+    out: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        # Sample line: <name>[{labels}] <value>
+        idx = line.rfind(" ")
+        if idx <= 0:
+            raise ValueError(f"malformed sample on line {lineno}: {line!r}")
+        name, value = line[:idx], line[idx + 1 :]
+        base = name.split("{", 1)[0]
+        if not base or _NAME_RE.search(base):
+            raise ValueError(f"illegal metric name on line {lineno}: {name!r}")
+        out[name] = float(value)
+    return out

@@ -1,0 +1,295 @@
+"""Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+The registry replaces the untyped ``stats.extra`` dicts that used to be
+sprinkled through :mod:`repro.ftl.gc`, :mod:`repro.baselines.ipl` and
+:mod:`repro.ftl.noftl` with *registered* metrics — every metric has a
+name, a type and a help string, so exporters (Prometheus text, CSV) and
+reports can enumerate them without guessing.
+
+Two design constraints drive the implementation:
+
+* **Near-zero overhead when disabled.**  A disabled registry hands out a
+  shared :data:`NULL_METRIC` whose mutators are no-ops; instrumented hot
+  paths pay one attribute load and a bool test.
+* **The legacy dataclasses stay live views.**  A registry can be backed
+  by any mutable mapping as its scalar store.  :class:`DeviceStats`
+  (see :mod:`repro.flash.stats`) backs its registry with its own
+  ``extra`` dict, so ``stats.extra["merges"]`` and
+  ``stats.metrics.counter("merges").value`` are the *same* storage —
+  snapshot/diff/reset and every existing reader keep working unchanged.
+
+Existing first-class counters (``DeviceStats.host_writes``,
+``FlashStats.page_programs``, ...) stay plain dataclass ints on the hot
+path; :meth:`MetricsRegistry.register_callback` exposes them to the
+exporters as callback-backed metrics without touching their write sites.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterator, MutableMapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CallbackMetric",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS_US",
+]
+
+#: Simulated-latency histogram buckets (microseconds): spans buffer hits
+#: (~1 us) through multi-erase GC stalls (tens of ms).
+DEFAULT_LATENCY_BUCKETS_US: tuple[float, ...] = (
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0,
+    10_000.0, 25_000.0, 50_000.0, 100_000.0,
+)
+
+
+class Counter:
+    """Monotonic counter whose value lives in the registry's store."""
+
+    __slots__ = ("name", "help", "_store")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, store: MutableMapping) -> None:
+        self.name = name
+        self.help = help
+        self._store = store
+        store.setdefault(name, 0)
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self._store[self.name] = self._store.get(self.name, 0) + amount
+
+    @property
+    def value(self) -> float:
+        return self._store.get(self.name, 0)
+
+
+class Gauge:
+    """Point-in-time value (may go up or down)."""
+
+    __slots__ = ("name", "help", "_store")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, store: MutableMapping) -> None:
+        self.name = name
+        self.help = help
+        self._store = store
+        store.setdefault(name, 0)
+
+    def set(self, value: float) -> None:
+        self._store[self.name] = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._store[self.name] = self._store.get(self.name, 0) + amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._store.get(self.name, 0)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-bucket export, Prometheus style).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; an
+    implicit +Inf bucket catches the rest.
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US,
+    ) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +Inf last
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left keeps the upper edges inclusive (Prometheus ``le``).
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper edge of the bucket holding rank q.
+
+        Good enough for reports; exact percentiles come from the raw
+        latency list the harness keeps anyway.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    @property
+    def value(self) -> float:
+        """Scalar summary (the count) so generic collectors can tabulate."""
+        return self.count
+
+
+class CallbackMetric:
+    """Read-only metric whose value is computed on collection.
+
+    Used to export existing dataclass counters (``DeviceStats``,
+    ``FlashStats``, clock breakdown) without touching their hot paths.
+    """
+
+    __slots__ = ("name", "help", "kind", "_fn")
+
+    def __init__(
+        self, name: str, help: str, fn: Callable[[], float], kind: str = "gauge"
+    ) -> None:
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"callback metric kind must be counter/gauge, got {kind}")
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return self._fn()
+
+
+class _NullMetric:
+    """Shared no-op metric handed out by disabled registries."""
+
+    __slots__ = ()
+    kind = "null"
+    name = "null"
+    help = ""
+    value = 0
+    count = 0
+    sum = 0.0
+    bounds: tuple = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Get-or-create factory and catalogue for a family of metrics.
+
+    Args:
+        enabled: When False every factory method returns
+            :data:`NULL_METRIC` (no registration, no-op mutators).
+        store: Mutable mapping backing counter/gauge scalars.  Passing an
+            existing dict (e.g. ``DeviceStats.extra``) makes that dict a
+            live view over the registry's values.
+    """
+
+    def __init__(
+        self, enabled: bool = True, store: MutableMapping | None = None
+    ) -> None:
+        self.enabled = enabled
+        self.store: MutableMapping = store if store is not None else {}
+        self._metrics: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Factories (get-or-create; type clashes are programming errors)
+    # ------------------------------------------------------------------ #
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.__name__.lower()}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help, store=self.store)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help, store=self.store)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, bounds=bounds)
+
+    def register_callback(
+        self, name: str, fn: Callable[[], float], help: str = "", kind: str = "gauge"
+    ) -> CallbackMetric:
+        """Expose an externally-stored value (dataclass counter, ...)."""
+        if not self.enabled:
+            return NULL_METRIC  # type: ignore[return-value]
+        if name in self._metrics:
+            raise ValueError(f"metric {name!r} already registered")
+        metric = CallbackMetric(name, help, fn, kind=kind)
+        self._metrics[name] = metric
+        return metric
+
+    # ------------------------------------------------------------------ #
+    # Collection
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str):
+        """The registered metric object, or None."""
+        return self._metrics.get(name)
+
+    def collect(self) -> Iterator[object]:
+        """All registered metrics, in registration order."""
+        return iter(list(self._metrics.values()))
+
+    def as_dict(self) -> dict[str, float]:
+        """Scalar snapshot: name -> current value (histograms: count)."""
+        return {m.name: m.value for m in self.collect()}
+
+
+#: Shared disabled registry: the default for un-observed stacks.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,198 @@
+"""The ``python -m repro obs`` post-run observability report.
+
+Runs one observed TPC-B experiment (configuration sized so the device
+actually feels GC pressure) and renders what the rest of the harness
+only summarizes:
+
+* span counts per name — did every instrumented layer fire;
+* GC-stall attribution — which *transactions* paid for inline erases,
+  with the host write and buffer eviction in between;
+* the transaction-latency histogram;
+* a condensed time series (GC pressure and append share over the run).
+
+With ``--out DIR`` the raw artifacts (spans JSONL, samples CSV,
+Prometheus text) are written for external tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.bench.report import render_table
+from repro.obs import ObserveConfig
+from repro.obs.trace import attribute_gc_erases
+
+
+def build_config(arch: str, transactions: int):
+    """An observed-run config under genuine GC pressure."""
+    from repro.bench.harness import ExperimentConfig
+    from repro.core.config import IPA_DISABLED, SCHEME_2X4
+    from repro.flash.modes import FlashMode
+    from repro.workloads.tpcb import TpcbWorkload
+
+    is_ipa = arch.startswith("ipa")
+    return ExperimentConfig(
+        workload=TpcbWorkload(scale=1, accounts_per_branch=2000),
+        architecture=arch,
+        mode=FlashMode.PSLC if is_ipa else FlashMode.SLC,
+        scheme=SCHEME_2X4 if is_ipa else IPA_DISABLED,
+        transactions=transactions,
+        buffer_pages=32,
+        device_utilization=0.92,
+        over_provisioning=0.08,
+    )
+
+
+def span_count_table(spans) -> str:
+    counts: dict[str, int] = {}
+    total_us: dict[str, float] = {}
+    for span in spans:
+        counts[span.name] = counts.get(span.name, 0) + 1
+        total_us[span.name] = total_us.get(span.name, 0.0) + span.duration_us
+    rows = [
+        [name, str(counts[name]), f"{total_us[name]:,.0f}"]
+        for name in sorted(counts, key=lambda n: -total_us[n])
+    ]
+    return render_table(
+        ["Span", "Count", "Total sim us"], rows, title="Span inventory"
+    )
+
+
+def gc_stall_table(spans, top: int = 10) -> str:
+    attributed = attribute_gc_erases(spans)
+    if not attributed:
+        return "No gc_erase spans: the run never triggered garbage collection.\n"
+    attributed.sort(key=lambda a: -a["stall_us"])
+    rows = []
+    for a in attributed[:top]:
+        host_write = a["host_write"] or {}
+        attrs = a["span"].get("attrs", {})
+        rows.append(
+            [
+                str(a["txn"]) if a["txn"] is not None else "-",
+                str(host_write.get("attrs", {}).get("lba", "-")),
+                str(attrs.get("victim", "-")),
+                str(attrs.get("migrated", "-")),
+                f"{a['stall_us']:,.0f}",
+            ]
+        )
+    n_attr = sum(
+        1 for a in attributed if a["host_write"] is not None and a["txn"] is not None
+    )
+    table = render_table(
+        ["Txn", "Host LBA", "Victim blk", "Migrated", "Stall (us)"],
+        rows,
+        title=(
+            f"GC-stall attribution — {len(attributed)} inline erases, "
+            f"{n_attr} attributed to a transaction's host write"
+        ),
+    )
+    return table
+
+
+def latency_table(histogram) -> str:
+    rows = []
+    cumulative = 0
+    for bound, count in zip(histogram.bounds, histogram.bucket_counts):
+        cumulative += count
+        rows.append([f"<= {bound:,}", str(count), str(cumulative)])
+    rows.append(
+        [
+            f"> {histogram.bounds[-1]:,}",
+            str(histogram.bucket_counts[-1]),
+            str(histogram.count),
+        ]
+    )
+    title = (
+        f"Transaction latency (simulated us) — n={histogram.count}, "
+        f"p50~{histogram.quantile(0.5):,.0f}, p99~{histogram.quantile(0.99):,.0f}"
+    )
+    return render_table(["Bucket (us)", "Count", "Cumulative"], rows, title=title)
+
+
+def timeseries_table(samples, max_rows: int = 12) -> str:
+    if not samples:
+        return "No samples taken.\n"
+    stride = max(len(samples) // max_rows, 1)
+    shown = samples[::stride]
+    if samples[-1] is not shown[-1]:
+        shown.append(samples[-1])
+    rows = [
+        [
+            f"{row['t_s']:.3f}",
+            f"{row.get('txns_per_s', row.get('host_writes_per_s', 0.0)):,.0f}",
+            f"{row.get('host_writes', 0):,.0f}",
+            f"{row.get('in_place_appends', 0):,.0f}",
+            f"{row.get('gc_erases', 0):,.0f}",
+            f"{row.get('gc_migrations', 0):,.0f}",
+            f"{row.get('free_blocks', 0):,.0f}",
+            f"{row.get('write_amp', 0.0):.2f}",
+        ]
+        for row in shown
+    ]
+    return render_table(
+        ["t (sim s)", "TPS", "Host wr", "IPA", "GC erase", "GC migr",
+         "Free blk", "W-amp"],
+        rows,
+        title=f"Time series ({len(samples)} samples, every {stride}th shown)",
+    )
+
+
+def render_report(result) -> str:
+    obs = result.observation
+    spans = obs.spans()
+    parts = [
+        f"Observed run: {result.config_label} / {result.workload} — "
+        f"{result.transactions} txns, {result.tps:,.0f} TPS, "
+        f"attribution rate {obs.gc_attribution_rate():.0%}\n",
+        span_count_table(spans),
+        "",
+        gc_stall_table(spans),
+        "",
+        latency_table(obs.txn_latency),
+        "",
+        timeseries_table(obs.samples),
+    ]
+    return "\n".join(parts)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--arch",
+        choices=("traditional", "ipa-blockdev", "ipa-native"),
+        default="traditional",
+    )
+    parser.add_argument("--transactions", type=int, default=2000)
+    parser.add_argument("--fast", action="store_true", help="small run (CI smoke)")
+    parser.add_argument("--out", default=None, help="directory for raw artifacts")
+    args = parser.parse_args()
+
+    from repro.bench.harness import run_experiment
+    from repro.obs.export import write_samples_csv
+
+    transactions = 600 if args.fast else args.transactions
+    config = build_config(args.arch, transactions)
+    trace_path = None
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        trace_path = os.path.join(args.out, "spans.jsonl")
+    observe = ObserveConfig(sample_interval_s=0.01, trace_path=trace_path)
+    result = run_experiment(config, observe=observe)
+    print(render_report(result))
+
+    if args.out:
+        obs = result.observation
+        write_samples_csv(
+            os.path.join(args.out, "samples.csv"), obs.samples, obs.sampler.columns
+        )
+        with open(
+            os.path.join(args.out, "metrics.prom"), "w", encoding="utf-8"
+        ) as fh:
+            fh.write(obs.export_prometheus())
+        print(f"\nartifacts written to {args.out}/ (spans.jsonl, samples.csv, metrics.prom)")
+
+
+if __name__ == "__main__":
+    main()

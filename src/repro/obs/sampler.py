@@ -1,0 +1,118 @@
+"""Time-series sampling: periodic snapshots keyed to *simulated* time.
+
+Final totals (Table 1) hide dynamics: GC pressure builds as the free
+pool drains, invalidations accelerate once the working set has been
+written once, IPA's reprogram share ramps as pages accumulate appendable
+slots.  The sampler turns cumulative counters into a time series —
+each sample carries the cumulative value *and* a per-second rate over
+the elapsed interval — cheap enough to call once per transaction
+(one float compare when no sample is due).
+
+Collectors are plain zero-argument callables returning numbers, so any
+layer can contribute without depending on this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["TimeSeriesSampler", "free_block_depth"]
+
+
+class TimeSeriesSampler:
+    """Sample named collectors every ``interval_s`` of simulated time.
+
+    Args:
+        clock: The simulated clock (``now_us`` / ``now_s``).
+        interval_s: Sampling period in simulated seconds.
+        collectors: name -> callable returning the *cumulative* value.
+        rates: Collector names for which a ``<name>_per_s`` column is
+            derived from consecutive samples.  Defaults to all.
+    """
+
+    def __init__(
+        self,
+        clock,
+        interval_s: float = 0.02,
+        collectors: Mapping[str, Callable[[], float]] | None = None,
+        rates: Sequence[str] | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.clock = clock
+        self.interval_us = interval_s * 1e6
+        self._collectors: dict[str, Callable[[], float]] = dict(collectors or {})
+        self._rates = set(rates) if rates is not None else None
+        self.samples: list[dict] = []
+        self._next_due_us = 0.0
+        self._prev: dict[str, float] = {}
+        self._prev_t_us = 0.0
+
+    def add_collector(self, name: str, fn: Callable[[], float]) -> None:
+        """Register one more collector (before or between samples)."""
+        self._collectors[name] = fn
+
+    @property
+    def columns(self) -> list[str]:
+        """Column order of each sample row."""
+        cols = ["t_s"]
+        for name in self._collectors:
+            cols.append(name)
+            if self._rates is None or name in self._rates:
+                cols.append(f"{name}_per_s")
+        return cols
+
+    def maybe_sample(self) -> bool:
+        """Take a sample iff the interval has elapsed; returns True if so.
+
+        The not-due path is a single float comparison, so workload loops
+        can call this unconditionally per transaction.
+        """
+        if self.clock.now_us < self._next_due_us:
+            return False
+        self.sample_now()
+        return True
+
+    def sample_now(self) -> dict:
+        """Take a sample unconditionally (also used for final flushes)."""
+        now_us = self.clock.now_us
+        dt_s = max((now_us - self._prev_t_us) / 1e6, 1e-12)
+        row: dict = {"t_s": now_us / 1e6}
+        for name, fn in self._collectors.items():
+            value = float(fn())
+            row[name] = value
+            if self._rates is None or name in self._rates:
+                prev = self._prev.get(name)
+                row[f"{name}_per_s"] = (
+                    (value - prev) / dt_s if prev is not None and self.samples else 0.0
+                )
+            self._prev[name] = value
+        self._prev_t_us = now_us
+        self.samples.append(row)
+        # Schedule from *now* (not from the previous due time): simulated
+        # time advances in op-sized jumps, so aligning to a fixed grid
+        # would emit bursts of back-to-back samples after a long stall.
+        self._next_due_us = now_us + self.interval_us
+        return row
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def free_block_depth(device) -> int:
+    """Free-block pool depth of any device architecture.
+
+    Conventional FTLs expose one :class:`~repro.ftl.gc.BlockManager`;
+    NoFTL sums its regions (GC pressure anywhere hurts); IPL counts its
+    spare merge blocks.  Returns 0 for unknown shapes.
+    """
+    blocks = getattr(device, "_blocks", None)
+    if blocks is not None and hasattr(blocks, "free_block_count"):
+        return blocks.free_block_count  # PageMappingFtl / IpaFtl
+    spares = getattr(device, "_spares", None)
+    if spares is not None:  # IplStore (its _blocks is a plain list)
+        return len(spares)
+    regions = getattr(device, "regions", None)
+    if regions is not None:  # NoFtlDevice
+        return sum(r._blocks.free_block_count for r in regions)
+    return 0

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.tracker import ChangeTracker
+from repro.obs.trace import NULL_TRACER
 from repro.storage.layout import SlottedPage
 
 
@@ -93,6 +94,9 @@ class BufferPool:
             (second-chance sweep — what Shore-MT and most real engines
             run, trading exactness for O(1) hits).
     """
+
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -173,7 +177,12 @@ class BufferPool:
             self.stats.dirty_eviction_net_bytes.append(
                 len(victim.tracker.net_changed_offsets)
             )
-            self._flush(victim)
+            tr = self.tracer
+            if not tr.enabled:
+                self._flush(victim)
+                return
+            with tr.span("evict", lba=victim.lba, dirty=True):
+                self._flush(victim)
         else:
             self.stats.clean_evictions += 1
 

@@ -32,6 +32,7 @@ from repro.core.reconstruct import reconstruct
 from repro.core.tracker import ChangeTracker
 from repro.flash.latency import HostCostModel
 from repro.ftl.interface import FlashBackend
+from repro.obs.trace import NULL_TRACER
 from repro.storage.buffer import BufferPool, Frame
 from repro.storage.layout import PageCorruptError, SlottedPage
 
@@ -225,6 +226,9 @@ class StorageManager:
         replacement: Buffer replacement policy, "lru" or "clock".
     """
 
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    tracer = NULL_TRACER
+
     def __init__(
         self,
         device: FlashBackend,
@@ -285,7 +289,12 @@ class StorageManager:
             frame.pin()
             return frame
         self.pool.stats.misses += 1
-        image = self.device.read_page(lba)
+        tr = self.tracer
+        if not tr.enabled:
+            image = self.device.read_page(lba)
+        else:
+            with tr.span("page_fetch", lba=lba):
+                image = self.device.read_page(lba)
         page_buf, k = reconstruct(image, self.scheme)
         page = SlottedPage(page_buf, self.scheme)
         if self.verify_checksums and not page.verify_checksum():
@@ -374,5 +383,13 @@ class StorageManager:
     def _flush(self, frame: Frame) -> None:
         # Account net change before the policy resets the tracker.
         self.stats.net_bytes_updated += len(frame.tracker.net_changed_offsets)
-        self.policy.flush(self, frame)
+        tr = self.tracer
+        if not tr.enabled:
+            self.policy.flush(self, frame)
+        else:
+            # The host-side write: any GC the device performs underneath
+            # (gc_collect / gc_erase spans) nests under this span, which
+            # is how erase stalls are attributed back to transactions.
+            with tr.span("host_write", lba=frame.lba, policy=self.policy.name):
+                self.policy.flush(self, frame)
         frame.dirty = False

@@ -92,6 +92,38 @@ class TestStats:
         before.extra["merges"] = 99
         assert stats.extra["merges"] == 7  # copies are independent
 
+    def test_device_diff_subtracts_numeric_extra(self):
+        """Regression: interval diffs must subtract extra counters too.
+
+        ``diff`` used to copy ``extra`` cumulatively, so every interval
+        after the first over-reported merges / log_page_reads / wear
+        moves.
+        """
+        stats = DeviceStats()
+        stats.extra.update({"merges": 7, "log_page_reads": 100, "note": "x"})
+        before = stats.snapshot()
+        stats.extra["merges"] = 10
+        stats.extra["log_page_reads"] = 130
+        stats.extra["new_key"] = 4  # appeared after the snapshot
+        diff = stats.diff(before)
+        assert diff.extra["merges"] == 3
+        assert diff.extra["log_page_reads"] == 30
+        assert diff.extra["new_key"] == 4  # baseline defaults to 0
+        assert diff.extra["note"] == "x"  # non-numeric: carried over
+
+    def test_device_metrics_registry_shares_extra(self):
+        """stats.metrics counters and the extra dict are the same storage."""
+        stats = DeviceStats()
+        counter = stats.metrics.counter("merges")
+        counter.inc(3)
+        assert stats.extra["merges"] == 3
+        stats.extra["merges"] += 2
+        assert counter.value == 5
+        stats.reset()
+        assert counter.value == 0  # cleared in place; binding stays live
+        counter.inc()
+        assert stats.extra["merges"] == 1
+
     def test_device_ratios_guard_zero(self):
         stats = DeviceStats()
         assert stats.migrations_per_host_write == 0.0

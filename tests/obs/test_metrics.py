@@ -1,0 +1,127 @@
+"""Metrics registry semantics: counters, gauges, histograms, null path."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    MetricsRegistry,
+    NULL_METRIC,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("writes")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_same_metric(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x")
+        b = registry.counter("x")
+        a.inc()
+        assert b.value == 1
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_shared_store(self):
+        store: dict = {}
+        registry = MetricsRegistry(store=store)
+        registry.counter("ops").inc(2)
+        assert store["ops"] == 2
+        store["ops"] = 9
+        assert registry.counter("ops").value == 9
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = MetricsRegistry().histogram("lat", bounds=(10, 100, 1000))
+        for value in (5, 9, 50, 500, 5000, 10):
+            hist.observe(value)
+        # buckets: <=10, <=100, <=1000, overflow
+        assert hist.bucket_counts == [3, 1, 1, 1]
+        assert hist.count == 6
+        assert hist.sum == 5574
+
+    def test_quantile(self):
+        hist = MetricsRegistry().histogram("lat", bounds=(10, 100, 1000))
+        for _ in range(99):
+            hist.observe(5)
+        hist.observe(500)
+        assert hist.quantile(0.5) <= 10
+        assert hist.quantile(0.999) > 100
+
+    def test_empty_quantile(self):
+        hist = MetricsRegistry().histogram("lat", bounds=(1, 2))
+        assert hist.quantile(0.99) == 0.0
+
+    def test_default_bounds_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_US) == sorted(
+            DEFAULT_LATENCY_BUCKETS_US
+        )
+
+
+class TestCallbacks:
+    def test_callback_reflects_source(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        registry.register_callback("live_n", lambda: state["n"])
+        (metric,) = [m for m in registry.collect() if m.name == "live_n"]
+        assert metric.value == 1
+        state["n"] = 7
+        assert metric.value == 7
+
+    def test_duplicate_callback_rejected(self):
+        registry = MetricsRegistry()
+        registry.register_callback("x", lambda: 0)
+        with pytest.raises(ValueError):
+            registry.register_callback("x", lambda: 1)
+
+
+class TestDisabledRegistry:
+    def test_factories_return_null_metric(self):
+        assert NULL_REGISTRY.counter("a") is NULL_METRIC
+        assert NULL_REGISTRY.gauge("b") is NULL_METRIC
+        assert NULL_REGISTRY.histogram("c") is NULL_METRIC
+
+    def test_null_metric_absorbs_everything(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.inc(5)
+        NULL_METRIC.dec()
+        NULL_METRIC.set(3)
+        NULL_METRIC.observe(1.5)
+        assert NULL_METRIC.value == 0
+
+    def test_disabled_registry_collects_nothing(self):
+        NULL_REGISTRY.counter("a").inc(5)
+        assert list(NULL_REGISTRY.collect()) == []
+
+    def test_as_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(7)
+        out = registry.as_dict()
+        assert out["a"] == 2
+        assert out["g"] == 7

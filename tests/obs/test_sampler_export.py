@@ -1,0 +1,148 @@
+"""Time-series sampler plus CSV / Prometheus exporter round-trips."""
+
+import pytest
+
+from repro.flash.latency import SimClock
+from repro.obs.export import (
+    parse_prometheus,
+    registry_to_prometheus,
+    samples_to_csv,
+    write_samples_csv,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
+
+
+def make_sampler(interval_s=0.01, rates=None):
+    clock = SimClock()
+    state = {"ops": 0}
+    sampler = TimeSeriesSampler(
+        clock,
+        interval_s=interval_s,
+        collectors={"ops": lambda: state["ops"]},
+        rates=rates,
+    )
+    return sampler, clock, state
+
+
+class TestSampler:
+    def test_interval_gating(self):
+        sampler, clock, state = make_sampler(interval_s=0.01)  # 10_000 us
+        assert sampler.maybe_sample()  # first call is due immediately
+        state["ops"] = 5
+        clock.advance(9_999.0)
+        assert not sampler.maybe_sample()  # one float compare, not due
+        clock.advance(2.0)
+        assert sampler.maybe_sample()
+        assert len(sampler) == 2
+        assert sampler.samples[1]["ops"] == 5
+
+    def test_rates_derived_between_samples(self):
+        sampler, clock, state = make_sampler()
+        sampler.maybe_sample()
+        state["ops"] = 100
+        clock.advance(20_000.0)  # 0.02 simulated s
+        sampler.sample_now()
+        row = sampler.samples[-1]
+        assert row["ops"] == 100
+        assert row["ops_per_s"] == pytest.approx(100 / 0.02)
+        assert sampler.samples[0]["ops_per_s"] == 0.0  # no prior interval
+
+    def test_rates_opt_out(self):
+        sampler, _, _ = make_sampler(rates=())
+        sampler.sample_now()
+        assert "ops_per_s" not in sampler.samples[0]
+        assert sampler.columns == ["t_s", "ops"]
+
+    def test_schedules_from_now_after_stall(self):
+        sampler, clock, _ = make_sampler(interval_s=0.01)
+        sampler.maybe_sample()
+        clock.advance(100_000.0)  # a 10-interval stall
+        assert sampler.maybe_sample()
+        assert not sampler.maybe_sample()  # no burst of catch-up samples
+        assert len(sampler) == 2
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(SimClock(), interval_s=0.0)
+
+    def test_add_collector(self):
+        sampler, _, _ = make_sampler()
+        sampler.add_collector("depth", lambda: 7)
+        sampler.sample_now()
+        assert sampler.samples[0]["depth"] == 7
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        sampler, clock, state = make_sampler()
+        for ops in (0, 10, 30):
+            state["ops"] = ops
+            sampler.sample_now()
+            clock.advance(10_000.0)
+        text = samples_to_csv(sampler.samples, sampler.columns)
+        lines = text.strip().splitlines()
+        assert lines[0] == "t_s,ops,ops_per_s"
+        assert len(lines) == 4
+        first = dict(zip(lines[0].split(","), lines[1].split(",")))
+        assert float(first["ops"]) == 0
+        path = tmp_path / "series.csv"
+        write_samples_csv(str(path), sampler.samples, sampler.columns)
+        assert path.read_text() == text
+
+    def test_missing_column_renders_empty(self):
+        text = samples_to_csv([{"a": 1}], columns=["a", "b"])
+        assert text.splitlines()[1] == "1,"
+
+
+class TestPrometheus:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("host_writes", help="pages written").inc(12)
+        registry.gauge("free_blocks", help="pool depth").set(5)
+        hist = registry.histogram("lat_us", help="latency",
+                                  bounds=(10.0, 100.0))
+        for value in (5, 50, 5000):
+            hist.observe(value)
+        registry.register_callback("wear", lambda: 3.5, kind="gauge")
+        return registry
+
+    def test_export_parses_cleanly(self):
+        text = registry_to_prometheus(self.build_registry())
+        parsed = parse_prometheus(text)
+        assert parsed["repro_host_writes"] == 12
+        assert parsed["repro_free_blocks"] == 5
+        assert parsed["repro_wear"] == 3.5
+
+    def test_histogram_cumulative_buckets(self):
+        text = registry_to_prometheus(self.build_registry())
+        parsed = parse_prometheus(text)
+        assert parsed['repro_lat_us_bucket{le="10"}'] == 1
+        assert parsed['repro_lat_us_bucket{le="100"}'] == 2
+        assert parsed['repro_lat_us_bucket{le="+Inf"}'] == 3
+        assert parsed["repro_lat_us_count"] == 3
+        assert parsed["repro_lat_us_sum"] == 5055
+
+    def test_help_and_type_lines_present(self):
+        text = registry_to_prometheus(self.build_registry())
+        assert "# HELP repro_host_writes pages written" in text
+        assert "# TYPE repro_host_writes counter" in text
+        assert "# TYPE repro_lat_us histogram" in text
+
+    def test_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("region:a.b-c").inc()
+        text = registry_to_prometheus(registry)
+        assert "repro_region:a_b_c 1" in text
+        parse_prometheus(text)  # sanitized names must stay legal
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("justonetoken")
+        with pytest.raises(ValueError):
+            parse_prometheus("bad name! 1")
+
+    def test_disabled_registry_exports_nothing(self):
+        from repro.obs.metrics import NULL_REGISTRY
+
+        assert registry_to_prometheus(NULL_REGISTRY) == ""
