@@ -58,6 +58,22 @@ def test_partial_program_throughput(benchmark, chip):
     benchmark(append)
 
 
+def test_reprogram_throughput(benchmark, chip):
+    # Reprogramming an identical image is always legal (no bit rises), so
+    # every round pays the full legality-check + reprogram pulse path.
+    payload = bytes(range(256)) * 16
+    chip.program_page(0, payload)
+
+    benchmark(lambda: chip.reprogram_page(0, payload))
+
+
+def test_erase_block_throughput(benchmark, chip):
+    # Erase cost does not depend on page content (every cell is reset
+    # either way), so re-erasing one block times the same code path as an
+    # erase after programming, without untimed setup between rounds.
+    benchmark(lambda: chip.erase_block(0))
+
+
 def test_ftl_overwrite_with_gc(benchmark):
     ftl = PageMappingFtl(FlashChip(GEO), over_provisioning=0.2)
     payload = b"\xab" * 512

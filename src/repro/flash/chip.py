@@ -26,11 +26,11 @@ from repro.flash.ecc import DEFAULT_ECC, EccConfig
 from repro.flash.errors import (
     BadBlockError,
     EccUncorrectableError,
-    IllegalProgramError,
+    IllegalAddressError,
     ModeViolationError,
 )
 from repro.flash.geometry import FlashGeometry
-from repro.flash.interference import DisturbModel, neighbour_pages
+from repro.flash.interference import DisturbModel, victim_table
 from repro.flash.latency import DEFAULT_LATENCY, LatencyModel, SimClock
 from repro.flash.modes import FlashMode, ModeRules, rules_for
 from repro.flash.page import PageState, PhysicalPage
@@ -82,6 +82,31 @@ class FlashChip:
             )
             for _ in range(geometry.blocks)
         ]
+        # Hot-path precomputation: everything below depends only on
+        # geometry, mode and the (frozen) latency table, so it is resolved
+        # once here instead of per operation (victim sets used to be
+        # rebuilt on every program, mode predicates re-evaluated per call,
+        # and usable-page scans run on every capacity query).
+        ppb = geometry.pages_per_block
+        self._ppb = ppb
+        self._total_pages = geometry.total_pages
+        self._page_size = geometry.page_size
+        self._victims = victim_table(ppb, self.rules)
+        self._usable_mask = tuple(self.rules.page_usable(p) for p in range(ppb))
+        self._appendable_mask = tuple(
+            self.rules.page_appendable(p) for p in range(ppb)
+        )
+        self._lsb_mask = tuple(self.rules.page_is_lsb(p) for p in range(ppb))
+        self._usable_offsets = tuple(p for p in range(ppb) if self._usable_mask[p])
+        self._usable_capacity = len(self._usable_offsets) * geometry.blocks
+        self._pad_tail = bytes([ERASED_BYTE]) * geometry.page_size
+        self._rate_reprogram = self.rules.disturb_rate_reprogram
+        self._rate_program = self.rules.disturb_rate_program
+        self._read_us = latency.read_us
+        self._program_lsb_us = latency.program_lsb_us
+        self._program_msb_us = latency.program_msb_us
+        self._reprogram_us = latency.reprogram_us
+        self._bus_us_per_byte = latency.bus_us_per_byte
 
     # ------------------------------------------------------------------ #
     # Addressing helpers
@@ -89,8 +114,16 @@ class FlashChip:
 
     def page_at(self, ppn: int) -> PhysicalPage:
         """The :class:`PhysicalPage` object behind a physical page number."""
-        block, page = self.geometry.split_ppn(ppn)
+        block, page = self._split(ppn)
         return self.blocks[block].pages[page]
+
+    def _split(self, ppn: int) -> tuple[int, int]:
+        """Bounds-checked (block, page-in-block) split, geometry precached."""
+        if 0 <= ppn < self._total_pages:
+            return divmod(ppn, self._ppb)
+        raise IllegalAddressError(
+            f"ppn {ppn} out of range [0, {self._total_pages})"
+        )
 
     def page_state(self, ppn: int) -> PageState:
         """Programming state of a page without charging read latency."""
@@ -100,18 +133,15 @@ class FlashChip:
         """Page-in-block indexes usable under the current mode.
 
         pSLC mode halves this list (LSB pages only); all other modes use
-        every page.
+        every page.  The set is fixed at construction; callers get a fresh
+        list they may reorder freely.
         """
-        return [
-            p
-            for p in range(self.geometry.pages_per_block)
-            if self.rules.page_usable(p)
-        ]
+        return list(self._usable_offsets)
 
     @property
     def usable_capacity_pages(self) -> int:
         """Total pages available to store data in the current mode."""
-        return len(self.usable_pages_in_block()) * self.geometry.blocks
+        return self._usable_capacity
 
     # ------------------------------------------------------------------ #
     # Core operations
@@ -130,21 +160,24 @@ class FlashChip:
         return data, oob
 
     def _read(self, ppn: int, check_ecc: bool) -> tuple[bytes, bytes, int]:
-        page = self.page_at(ppn)
+        block_idx, page_idx = self._split(ppn)
+        page = self.blocks[block_idx].pages[page_idx]
         try:
             data, oob, corrected = page.read(check_ecc=check_ecc)
         except EccUncorrectableError:
             # The sense operation happened; charge it and count the event.
-            self.clock.advance(self.latency.read_us, "read")
+            self.clock.advance(self._read_us, "read")
             self.stats.page_reads += 1
             self.stats.ecc_uncorrectable_events += 1
             raise
         nbytes = len(data) + len(oob)
-        self.clock.advance(self.latency.read_us, "read")
-        self.clock.advance(self.latency.transfer_us(nbytes), "bus")
-        self.stats.page_reads += 1
-        self.stats.bytes_read += nbytes
-        self.stats.ecc_corrected_bits += corrected
+        self.clock.advance_pair(
+            self._read_us, "read", nbytes * self._bus_us_per_byte, "bus"
+        )
+        stats = self.stats
+        stats.page_reads += 1
+        stats.bytes_read += nbytes
+        stats.ecc_corrected_bits += corrected
         return data, oob, corrected
 
     def program_page(self, ppn: int, data: bytes, oob: bytes | None = None) -> None:
@@ -156,17 +189,20 @@ class FlashChip:
             WriteToProgrammedPageError: if the page is already programmed.
             BadBlockError: if the containing block was retired.
         """
-        block_idx, page_idx = self.geometry.split_ppn(ppn)
-        self._check_block_alive(block_idx)
-        if not self.rules.page_usable(page_idx):
+        block_idx, page_idx = self._split(ppn)
+        block = self.blocks[block_idx]
+        if block.is_bad:
+            raise BadBlockError(f"block {block_idx} is retired")
+        if not self._usable_mask[page_idx]:
             raise ModeViolationError(
                 f"page {page_idx} in block {block_idx} is not usable in "
                 f"{self.mode.value} mode"
             )
-        page = self.page_at(ppn)
-        data = self._pad(data)
-        page.program(data, oob)
-        self._charge_program(block_idx, page_idx, data, oob, reprogram=False)
+        if len(data) != self._page_size:
+            data = self._pad(data)
+        block.pages[page_idx].program(data, oob)
+        nbytes = len(data) + (len(oob) if oob else 0)
+        self._charge_program(block_idx, page_idx, nbytes, reprogram=False)
 
     def reprogram_page(self, ppn: int, data: bytes, oob: bytes | None = None) -> None:
         """Overwrite a programmed page in place (no erase).
@@ -179,17 +215,20 @@ class FlashChip:
             ModeViolationError: if the mode forbids reprogramming this page.
             IllegalProgramError: if any bit would have to go 0 -> 1.
         """
-        block_idx, page_idx = self.geometry.split_ppn(ppn)
-        self._check_block_alive(block_idx)
-        if not self.rules.page_appendable(page_idx):
+        block_idx, page_idx = self._split(ppn)
+        block = self.blocks[block_idx]
+        if block.is_bad:
+            raise BadBlockError(f"block {block_idx} is retired")
+        if not self._appendable_mask[page_idx]:
             raise ModeViolationError(
                 f"page {page_idx} may not be reprogrammed in "
                 f"{self.mode.value} mode"
             )
-        page = self.page_at(ppn)
-        data = self._pad(data)
-        page.reprogram(data, oob)
-        self._charge_program(block_idx, page_idx, data, oob, reprogram=True)
+        if len(data) != self._page_size:
+            data = self._pad(data)
+        block.pages[page_idx].reprogram(data, oob)
+        nbytes = len(data) + (len(oob) if oob else 0)
+        self._charge_program(block_idx, page_idx, nbytes, reprogram=True)
 
     def partial_program(
         self,
@@ -201,55 +240,44 @@ class FlashChip:
     ) -> None:
         """Program a byte range of a page — the device half of write_delta.
 
-        Constructs the new page image (current image with ``payload`` at
-        ``offset``) and reprograms; the target range must currently be
-        erased (all 0xFF) so the transition is guaranteed legal.  Only
-        ``len(payload)`` data bytes are charged as bus transfer.
+        Range-local fast path: validates and writes only
+        ``[offset, offset+len(payload))`` (plus the OOB range, if any)
+        instead of reconstructing and re-validating the full page image.
+        The data range must currently be erased (all 0xFF) so the
+        transition is guaranteed legal; the OOB range follows the ordinary
+        charge-only-increases rule.  Only ``len(payload)`` data bytes are
+        charged as bus transfer.
 
         Raises:
-            IllegalProgramError: if the target range is not erased.
+            IllegalProgramError: if the target range is not erased (or the
+                OOB range would set a cleared bit).
         """
-        page = self.page_at(ppn)
+        block_idx, page_idx = self._split(ppn)
+        block = self.blocks[block_idx]
+        page = block.pages[page_idx]
         if offset < 0 or offset + len(payload) > page.page_size:
             raise ValueError(
                 f"range [{offset}, {offset + len(payload)}) exceeds page size "
                 f"{page.page_size}"
             )
-        current = bytearray(page.raw_data())
-        target = current[offset : offset + len(payload)]
-        if any(b != ERASED_BYTE for b in target):
-            raise IllegalProgramError(
-                f"append target [{offset}, {offset + len(payload)}) is not erased",
-                first_bad_offset=offset,
-            )
-        current[offset : offset + len(payload)] = payload
-
-        new_oob: bytes | None = None
+        page.check_append_target(offset, len(payload))
         if oob_payload is not None:
             if oob_offset is None:
                 raise ValueError("oob_payload requires oob_offset")
-            oob_buf = bytearray(page.raw_oob())
             if oob_offset < 0 or oob_offset + len(oob_payload) > page.oob_size:
                 raise ValueError("OOB range out of bounds")
-            oob_buf[oob_offset : oob_offset + len(oob_payload)] = oob_payload
-            new_oob = bytes(oob_buf)
-
-        block_idx, page_idx = self.geometry.split_ppn(ppn)
-        self._check_block_alive(block_idx)
-        if not self.rules.page_appendable(page_idx):
+        if block.is_bad:
+            raise BadBlockError(f"block {block_idx} is retired")
+        if not self._appendable_mask[page_idx]:
             raise ModeViolationError(
                 f"page {page_idx} may not be reprogrammed in "
                 f"{self.mode.value} mode"
             )
-        page.reprogram(bytes(current), new_oob)
+        page.append_range(offset, payload, oob_offset, oob_payload)
         # Latency/stats: a reprogram pulse train, but only the payload
         # crosses the bus (the whole point of write_delta).
         transferred = len(payload) + (len(oob_payload) if oob_payload else 0)
-        self.clock.advance(self.latency.reprogram_us, "program")
-        self.clock.advance(self.latency.transfer_us(transferred), "bus")
-        self.stats.page_reprograms += 1
-        self.stats.bytes_programmed += transferred
-        self._apply_interference(block_idx, page_idx, reprogram=True)
+        self._charge_program(block_idx, page_idx, transferred, reprogram=True)
 
     def erase_block(self, block_idx: int) -> None:
         """Erase one block (all pages, data and OOB)."""
@@ -268,36 +296,38 @@ class FlashChip:
     def _pad(self, data: bytes) -> bytes:
         """Right-pad short images with erased bytes to full page size."""
         size = self.geometry.page_size
-        if len(data) > size:
-            raise ValueError(f"data of {len(data)} B exceeds page size {size}")
-        if len(data) < size:
-            return bytes(data) + bytes([ERASED_BYTE]) * (size - len(data))
-        return bytes(data)
-
-    def _check_block_alive(self, block_idx: int) -> None:
-        if self.blocks[block_idx].is_bad:
-            raise BadBlockError(f"block {block_idx} is retired")
+        n = len(data)
+        if n == size:
+            return bytes(data)
+        if n > size:
+            raise ValueError(f"data of {n} B exceeds page size {size}")
+        return bytes(data) + self._pad_tail[n:]
 
     def _charge_program(
         self,
         block_idx: int,
         page_idx: int,
-        data: bytes,
-        oob: bytes | None,
+        nbytes: int,
         reprogram: bool,
     ) -> None:
+        """Latency, stats, tracing and interference of one program pulse.
+
+        Shared by ``program_page``, ``reprogram_page`` and
+        ``partial_program`` (which charges only the transferred bytes) so
+        the three accounting paths cannot drift.
+        """
         if reprogram:
-            op_us = self.latency.reprogram_us
+            op_us = self._reprogram_us
             self.stats.page_reprograms += 1
-        elif self.rules.page_is_lsb(page_idx):
-            op_us = self.latency.program_lsb_us
+        elif self._lsb_mask[page_idx]:
+            op_us = self._program_lsb_us
             self.stats.page_programs += 1
         else:
-            op_us = self.latency.program_msb_us
+            op_us = self._program_msb_us
             self.stats.page_programs += 1
-        nbytes = len(data) + (len(oob) if oob else 0)
-        self.clock.advance(op_us, "program")
-        self.clock.advance(self.latency.transfer_us(nbytes), "bus")
+        self.clock.advance_pair(
+            op_us, "program", nbytes * self._bus_us_per_byte, "bus"
+        )
         self.stats.bytes_programmed += nbytes
         tr = self.tracer
         if tr.enabled and getattr(tr, "trace_chip_ops", False):
@@ -312,16 +342,40 @@ class FlashChip:
     def _apply_interference(
         self, block_idx: int, page_idx: int, reprogram: bool
     ) -> None:
-        victims = neighbour_pages(
-            page_idx, self.geometry.pages_per_block, self.rules
+        rate = self._rate_reprogram if reprogram else self._rate_program
+        if rate == 0.0:
+            # Exact short-circuit: a zero rate draws all-zero counts and
+            # (verified) consumes no RNG state, so skipping the draws is
+            # byte-identical for every subsequent seeded outcome.
+            return
+        pages = self.blocks[block_idx].pages
+        programmed = PageState.PROGRAMMED
+        victims = [
+            p for v in self._victims[page_idx]
+            if (p := pages[v]).state is programmed
+        ]
+        if not victims:
+            return
+        # One vectorized draw, row-per-victim: stream-identical to the
+        # per-victim draws it replaces (same order, same bit stream).
+        # Open-coded version of DisturbModel.draw(): this is the single
+        # hottest call site, and the draw itself is the irreducible cost —
+        # everything around it must stay call-free.
+        dm = self._disturb
+        counts = dm._binomial(
+            dm._bits_per_codeword,
+            dm._rate_reprogram if reprogram else dm._rate_program,
+            size=(len(victims), dm._n_codewords),
         )
-        block = self.blocks[block_idx]
-        for victim_idx in victims:
-            victim = block.pages[victim_idx]
-            if victim.state is not PageState.PROGRAMMED:
-                continue
-            counts = self._disturb.disturb_counts(reprogram)
-            total = int(counts.sum())
-            if total:
-                victim.add_disturb(counts)
-                self.stats.disturb_bit_flips += total
+        rows = counts.tolist()
+        total = 0
+        for row in rows:
+            total += sum(row)
+        if not total:
+            return
+        dm.total_injected_bits += total
+        for i, victim in enumerate(victims):
+            t = sum(rows[i])
+            if t:
+                victim.add_disturb(counts[i])
+                self.stats.disturb_bit_flips += t

@@ -34,8 +34,16 @@ class DisturbModel:
         self._ecc = ecc
         self._page_size = page_size
         self._rng = np.random.default_rng(seed)
+        self._binomial = self._rng.binomial
         self._bits_per_codeword = ecc.codeword_bytes * 8
+        self._n_codewords = ecc.codewords_for(page_size)
+        self._rate_program = rules.disturb_rate_program
+        self._rate_reprogram = rules.disturb_rate_reprogram
         self.total_injected_bits = 0
+
+    def rate_for(self, reprogram: bool) -> float:
+        """Per-bit disturb probability of one program/reprogram pulse."""
+        return self._rate_reprogram if reprogram else self._rate_program
 
     def disturb_counts(self, reprogram: bool) -> np.ndarray:
         """Bit-error increments per codeword for one neighbour page.
@@ -47,15 +55,56 @@ class DisturbModel:
         Returns:
             Array of per-codeword disturbed-bit counts (often all zero).
         """
-        rate = (
-            self._rules.disturb_rate_reprogram
-            if reprogram
-            else self._rules.disturb_rate_program
+        return self.draw(reprogram, 1)[0][0]
+
+    def disturb_counts_batch(self, reprogram: bool, victims: int) -> np.ndarray:
+        """Bit-error increments for ``victims`` neighbour pages at once."""
+        return self.draw(reprogram, victims)[0]
+
+    def draw(
+        self, reprogram: bool, victims: int
+    ) -> tuple[np.ndarray, list[int], int]:
+        """Batched draw plus per-victim and grand totals.
+
+        One vectorized draw of shape ``(victims, codewords)``.  NumPy fills
+        element-wise from the same bit stream, so row ``i`` is bit-identical
+        to the ``i``-th of ``victims`` sequential :meth:`disturb_counts`
+        calls — callers can batch the per-victim draws of one program
+        operation without perturbing any seeded outcome.
+
+        The totals are computed at the Python level (``tolist`` + ``sum``):
+        for these few-element arrays that is ~3x cheaper than a ufunc
+        reduction, and the hot caller needs the totals anyway to skip the
+        (overwhelmingly common) all-zero outcome.
+
+        Returns:
+            ``(counts, row_totals, grand_total)``.
+        """
+        counts = self._binomial(
+            self._bits_per_codeword,
+            self._rate_reprogram if reprogram else self._rate_program,
+            size=(victims, self._n_codewords),
         )
-        n_codewords = self._ecc.codewords_for(self._page_size)
-        counts = self._rng.binomial(self._bits_per_codeword, rate, size=n_codewords)
-        self.total_injected_bits += int(counts.sum())
-        return counts
+        row_totals = [sum(row) for row in counts.tolist()]
+        total = sum(row_totals)
+        self.total_injected_bits += total
+        return counts, row_totals, total
+
+
+def victim_table(
+    pages_per_block: int,
+    rules: ModeRules,
+) -> tuple[tuple[int, ...], ...]:
+    """Precomputed :func:`neighbour_pages` for every page-in-block index.
+
+    The victim sets depend only on geometry and mode, so the chip computes
+    this table once at construction instead of rebuilding the neighbour
+    list on every program operation.
+    """
+    return tuple(
+        tuple(neighbour_pages(p, pages_per_block, rules))
+        for p in range(pages_per_block)
+    )
 
 
 def neighbour_pages(

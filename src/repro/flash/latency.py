@@ -49,6 +49,23 @@ class SimClock:
             self.breakdown_us.get(category, 0.0) + micros
         )
 
+    def advance_pair(
+        self, first_us: float, first_cat: str, second_us: float, second_cat: str
+    ) -> None:
+        """Two sequential :meth:`advance` calls fused into one.
+
+        Bit-identical to ``advance(first_us, first_cat)`` followed by
+        ``advance(second_us, second_cat)`` — the two float additions run in
+        the same order — but with one method call instead of two.  Hot-path
+        helper for operation+bus charging; callers guarantee non-negative
+        durations (they come from the frozen latency table).
+        """
+        self._now_us += first_us
+        self._now_us += second_us
+        bd = self.breakdown_us
+        bd[first_cat] = bd.get(first_cat, 0.0) + first_us
+        bd[second_cat] = bd.get(second_cat, 0.0) + second_us
+
     def reset(self) -> None:
         """Reset simulated time to zero (between experiment phases)."""
         self._now_us = 0.0

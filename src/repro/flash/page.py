@@ -3,6 +3,17 @@
 A page's life cycle is ``ERASED -> PROGRAMMED -> (reprogrammed)* -> ERASED``.
 The page object enforces the transition rules; the chip layers addressing,
 latency, interference and statistics on top.
+
+Performance notes (the NAND data path is the simulator's hottest code):
+
+* ``_data`` / ``_oob`` are *stable* ``bytearray`` buffers — never replaced,
+  never resized — so ``_data_np`` / ``_oob_np`` (``np.frombuffer`` views of
+  the same memory) stay valid for the page's whole lifetime.  Legality
+  checks run against these views with zero copies; mutation happens via
+  slice assignment into the same buffers.
+* ``erase()`` is a vectorized fill, not a per-byte loop.
+* Disturb totals are tracked incrementally (plain ints) so the read path
+  never reduces the per-codeword array.
 """
 
 from __future__ import annotations
@@ -23,6 +34,8 @@ from repro.flash.errors import (
     WriteToProgrammedPageError,
 )
 
+_ERASED_CHAR = bytes([ERASED_BYTE])
+
 
 class PageState(enum.Enum):
     """Programming state of a physical page."""
@@ -40,15 +53,33 @@ class PhysicalPage:
     correctable without storing a second copy of the data.
     """
 
-    __slots__ = ("_data", "_oob", "state", "program_passes", "_disturb", "_ecc")
+    __slots__ = (
+        "_data",
+        "_oob",
+        "_data_np",
+        "_oob_np",
+        "state",
+        "program_passes",
+        "_disturb",
+        "_disturb_total",
+        "_disturb_worst",
+        "_ecc",
+    )
 
     def __init__(self, page_size: int, oob_size: int, ecc: EccConfig) -> None:
-        self._data = bytearray([ERASED_BYTE]) * page_size
-        self._oob = bytearray([ERASED_BYTE]) * oob_size
+        self._data = bytearray(page_size)
+        self._oob = bytearray(oob_size)
+        # Writable zero-copy views over the stable buffers above.
+        self._data_np = np.frombuffer(self._data, dtype=np.uint8)
+        self._oob_np = np.frombuffer(self._oob, dtype=np.uint8)
+        self._data_np.fill(ERASED_BYTE)
+        self._oob_np.fill(ERASED_BYTE)
         self.state = PageState.ERASED
         self.program_passes = 0
         self._ecc = ecc
         self._disturb = np.zeros(ecc.codewords_for(page_size), dtype=np.int64)
+        self._disturb_total = 0
+        self._disturb_worst = 0
 
     @property
     def page_size(self) -> int:
@@ -61,17 +92,31 @@ class PhysicalPage:
     @property
     def disturb_bits(self) -> int:
         """Total disturbed bits currently accumulated on this page."""
-        return int(self._disturb.sum())
+        return self._disturb_total
+
+    def data_view(self) -> memoryview:
+        """Read-only zero-copy view of the pristine data image.
+
+        Valid for the page's lifetime (the backing buffer is stable);
+        callers that need the bytes past the next mutation must copy.
+        """
+        return memoryview(self._data).toreadonly()
+
+    def oob_view(self) -> memoryview:
+        """Read-only zero-copy view of the pristine OOB image."""
+        return memoryview(self._oob).toreadonly()
 
     def erase(self) -> None:
         """Reset every cell (data and OOB) to the erased state."""
-        for i in range(len(self._data)):
-            self._data[i] = ERASED_BYTE
-        for i in range(len(self._oob)):
-            self._oob[i] = ERASED_BYTE
+        self._data_np.fill(ERASED_BYTE)
+        self._oob_np.fill(ERASED_BYTE)
         self.state = PageState.ERASED
         self.program_passes = 0
-        self._disturb[:] = 0
+        if self._disturb_total:
+            # counts are non-negative, so total == 0 implies all-zero.
+            self._disturb[:] = 0
+            self._disturb_total = 0
+            self._disturb_worst = 0
 
     def program(self, data: bytes, oob: bytes | None = None) -> None:
         """First-time program of an erased page.
@@ -103,14 +148,14 @@ class PhysicalPage:
                 return to 1, i.e. the transition requires an erase.
         """
         self._check_sizes(data, oob)
-        if not slc_transition_legal(self._data, data):
-            off = first_illegal_offset(self._data, data)
+        if not slc_transition_legal(self._data_np, data):
+            off = first_illegal_offset(self._data_np, data)
             raise IllegalProgramError(
                 f"reprogram needs erase: data byte {off} sets a cleared bit",
                 first_bad_offset=off,
             )
-        if oob is not None and not slc_transition_legal(self._oob, oob):
-            off = first_illegal_offset(self._oob, oob)
+        if oob is not None and not slc_transition_legal(self._oob_np, oob):
+            off = first_illegal_offset(self._oob_np, oob)
             raise IllegalProgramError(
                 f"reprogram needs erase: OOB byte {off} sets a cleared bit",
                 first_bad_offset=off,
@@ -118,6 +163,58 @@ class PhysicalPage:
         self._data[:] = data
         if oob is not None:
             self._oob[:] = oob
+        self.state = PageState.PROGRAMMED
+        self.program_passes += 1
+
+    def check_append_target(self, offset: int, length: int) -> None:
+        """Raise unless ``[offset, offset+length)`` of the data area is erased.
+
+        Range-local precondition of :meth:`append_range`; the caller is
+        responsible for bounds checking.
+
+        Raises:
+            IllegalProgramError: if any byte in the range is programmed.
+        """
+        # bytes.strip(b"\xff") is empty iff every byte is 0xFF: strip can
+        # only remove boundary bytes, so any interior non-FF byte survives.
+        # C-speed for tiny append ranges, no numpy dispatch overhead.
+        if self._data[offset : offset + length].strip(_ERASED_CHAR):
+            raise IllegalProgramError(
+                f"append target [{offset}, {offset + length}) is not erased",
+                first_bad_offset=offset,
+            )
+
+    def append_range(
+        self,
+        offset: int,
+        payload: bytes,
+        oob_offset: int | None = None,
+        oob_payload: bytes | None = None,
+    ) -> None:
+        """Program only ``[offset, offset+len(payload))`` (plus an OOB range).
+
+        The range-local fast path behind ``write_delta``: equivalent to
+        rebuilding the full page image and calling :meth:`reprogram`, but
+        validates and writes only the touched ranges.  The data range must
+        already be verified erased via :meth:`check_append_target`; the OOB
+        range only needs a charge-increasing transition (matching the full
+        reprogram legality rule it replaces).
+
+        Raises:
+            IllegalProgramError: if the OOB range would set a cleared bit.
+        """
+        if oob_payload is not None and oob_offset is not None:
+            old = self._oob_np[oob_offset : oob_offset + len(oob_payload)]
+            bad = first_illegal_offset(old, oob_payload)
+            if bad != -1:
+                off = oob_offset + bad
+                raise IllegalProgramError(
+                    f"reprogram needs erase: OOB byte {off} sets a cleared bit",
+                    first_bad_offset=off,
+                )
+        self._data[offset : offset + len(payload)] = payload
+        if oob_payload is not None and oob_offset is not None:
+            self._oob[oob_offset : oob_offset + len(oob_payload)] = oob_payload
         self.state = PageState.PROGRAMMED
         self.program_passes += 1
 
@@ -142,20 +239,22 @@ class PhysicalPage:
         """
         corrected = 0
         if check_ecc and self.state is PageState.PROGRAMMED:
-            worst = int(self._disturb.max()) if self._disturb.size else 0
+            worst = self._disturb_worst
             if worst > self._ecc.correctable_bits:
                 raise EccUncorrectableError(
                     f"codeword with {worst} bit errors exceeds "
                     f"t={self._ecc.correctable_bits}",
                     bit_errors=worst,
                 )
-            corrected = int(self._disturb.sum())
+            corrected = self._disturb_total
         return bytes(self._data), bytes(self._oob), corrected
 
     def add_disturb(self, counts: np.ndarray) -> None:
         """Accumulate disturb bit-error counts (only if programmed)."""
         if self.state is PageState.PROGRAMMED:
             self._disturb += counts
+            self._disturb_total += int(counts.sum())
+            self._disturb_worst = int(self._disturb.max())
 
     def _check_sizes(self, data: bytes, oob: bytes | None) -> None:
         if len(data) != len(self._data):

@@ -101,13 +101,16 @@ class IpaFtl:
         _block, page_offset = self.chip.geometry.split_ppn(ppn)
         if not self.chip.rules.page_appendable(page_offset):
             return False
-        # Internal compare read: array sense only, no host transfer.
+        # Internal compare read: array sense only, no host transfer.  The
+        # legality probe runs against the page's stable buffer view — no
+        # full-page copy on this per-host-write path.
         self.chip.clock.advance(self.chip.latency.read_us, "read")
-        current = self.chip.page_at(ppn).raw_data()
-        image = data if len(data) == len(current) else (
-            data + b"\xff" * (len(current) - len(data))
+        page = self.chip.page_at(ppn)
+        size = page.page_size
+        image = data if len(data) == size else (
+            data + b"\xff" * (size - len(data))
         )
-        if not slc_transition_legal(current, image):
+        if not slc_transition_legal(page.data_view(), image):
             return False
         self.chip.reprogram_page(ppn, image)
         return True

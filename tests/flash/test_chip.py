@@ -132,6 +132,66 @@ class TestPartialProgram:
         assert data[30:35] == b"three"
         assert chip.stats.page_reprograms == 3
 
+    def test_empty_payload_charges_pulse_but_moves_no_bytes(self):
+        chip = make_chip()
+        chip.program_page(0, b"head")
+        bytes_before = chip.stats.bytes_programmed
+        clock_before = chip.clock.now_us
+        chip.partial_program(0, 100, b"")
+        assert chip.stats.bytes_programmed == bytes_before
+        assert chip.stats.page_reprograms == 1
+        assert chip.clock.now_us == clock_before + chip.latency.reprogram_us
+        assert chip.read_page(0)[:4] == b"head"
+
+    def test_oob_only_append(self):
+        chip = make_chip()
+        chip.program_page(0, b"head", oob=b"\xff" * 64)
+        chip.partial_program(0, 0, b"", oob_offset=16, oob_payload=b"\x0a\x0b")
+        data, oob = chip.read_page_with_oob(0)
+        assert data[:4] == b"head"
+        assert oob[16:18] == b"\x0a\x0b"
+        assert chip.stats.page_reprograms == 1
+
+    def test_append_flush_against_page_boundary(self):
+        chip = make_chip()
+        chip.program_page(0, b"head")
+        chip.partial_program(0, GEO.page_size - 5, b"DELTA")
+        assert chip.read_page(0)[-5:] == b"DELTA"
+
+    def test_append_one_past_page_boundary_rejected(self):
+        chip = make_chip()
+        chip.program_page(0, b"head")
+        with pytest.raises(ValueError):
+            chip.partial_program(0, GEO.page_size - 4, b"DELTA")
+
+    def test_overlapping_reappend_rejected_and_page_intact(self):
+        chip = make_chip()
+        chip.program_page(0, b"base")
+        chip.partial_program(0, 10, b"one")
+        with pytest.raises(IllegalProgramError):
+            chip.partial_program(0, 12, b"XY")  # overlaps the 'e' of "one"
+        data = chip.read_page(0)
+        assert data[10:13] == b"one"
+        assert data[13] == 0xFF
+
+    def test_oob_payload_requires_oob_offset(self):
+        chip = make_chip()
+        chip.program_page(0, b"head")
+        with pytest.raises(ValueError):
+            chip.partial_program(0, 100, b"D", oob_payload=b"\x01")
+
+    def test_oob_range_out_of_bounds_rejected(self):
+        chip = make_chip()
+        chip.program_page(0, b"head", oob=b"\xff" * 64)
+        with pytest.raises(ValueError):
+            chip.partial_program(0, 100, b"D", oob_offset=63, oob_payload=b"\x01\x02")
+
+    def test_oob_append_setting_cleared_bit_rejected(self):
+        chip = make_chip()
+        chip.program_page(0, b"head", oob=b"\x00" * 64)
+        with pytest.raises(IllegalProgramError):
+            chip.partial_program(0, 100, b"D", oob_offset=0, oob_payload=b"\x01")
+
 
 class TestModes:
     def test_pslc_msb_pages_unusable(self):
