@@ -134,12 +134,14 @@ class DeltaRecord:
 
 
 def decode_delta_area(
-    area: bytes, scheme: IpaScheme
+    area: bytes, scheme: IpaScheme, max_records: int | None = None
 ) -> list[DeltaRecord]:
     """Parse every present record of a page's delta area, in append order.
 
     Records are appended left to right, so parsing stops at the first
-    erased slot.
+    erased slot.  ``max_records`` caps how many slots are even examined —
+    crash recovery uses it to drop a torn trailing record (whose bytes
+    may not parse at all) and retry with one slot fewer.
     """
     if not scheme.enabled:
         return []
@@ -148,8 +150,11 @@ def decode_delta_area(
             f"delta area is {len(area)} bytes, scheme needs "
             f"{scheme.delta_area_size}"
         )
+    limit = scheme.n_records
+    if max_records is not None:
+        limit = min(limit, max_records)
     records: list[DeltaRecord] = []
-    for i in range(scheme.n_records):
+    for i in range(limit):
         slot = area[i * scheme.record_size : (i + 1) * scheme.record_size]
         record = DeltaRecord.decode(slot, scheme)
         if record is None:

@@ -22,13 +22,19 @@ class ReconstructionError(Exception):
     """A delta-record targets bytes outside the page body."""
 
 
-def reconstruct(image: bytes, scheme: IpaScheme) -> tuple[bytearray, int]:
+def reconstruct(
+    image: bytes, scheme: IpaScheme, max_records: int | None = None
+) -> tuple[bytearray, int]:
     """Apply a page image's delta-records; return (up-to-date page, count).
 
     The returned buffer has the *delta area reset to erased*: the buffer
     pool always holds the logical page, and the on-flash delta records it
     was reconstructed from are remembered only as the count (they still
     occupy flash slots and count against N).
+
+    ``max_records`` caps how many delta slots are applied; crash recovery
+    retries a checksum-failing page with successively smaller caps to
+    shed a torn trailing record (see StorageManager).
 
     Raises:
         ReconstructionError: a record's pair offset lies in the header,
@@ -42,7 +48,9 @@ def reconstruct(image: bytes, scheme: IpaScheme) -> tuple[bytearray, int]:
     page_size = len(image)
     footer_start = page_size - PAGE_FOOTER_SIZE
     delta_start = footer_start - scheme.delta_area_size
-    records = decode_delta_area(image[delta_start:footer_start], scheme)
+    records = decode_delta_area(
+        image[delta_start:footer_start], scheme, max_records
+    )
     for index, record in enumerate(records):
         _apply(page, record, index, delta_start)
     # Scrub the delta area: the in-buffer page is the logical page.

@@ -56,8 +56,7 @@ class Transaction:
             raise RuntimeError("transaction already committed")
         self.committed = True
         db = self._db
-        if db.manager.wal is not None:
-            db.manager.wal.commit()
+        db.manager.commit_wal()
         db.manager.clock.advance(
             db.manager.host_costs.per_transaction_us, "host"
         )

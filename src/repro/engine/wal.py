@@ -16,26 +16,43 @@ Protocol:
   transaction's buffer;
 * page formats append a :class:`FormatRecord` (new pages are recreated
   deterministically during redo);
-* commit flushes the transaction's records to the log device (group
-  commit at transaction granularity) — only then is the transaction
-  durable;
-* :func:`recover` replays the log against a freshly mounted stack using
-  the standard LSN redo test (apply iff ``page.lsn < record.lsn``).
+* commit wraps the transaction's records in one *commit frame* —
+  ``magic | length | CRC32(payload) | payload`` — and flushes it to the
+  log device (group commit at transaction granularity).  The
+  transaction is durable iff its complete frame is on the device: a
+  power loss between the partial programs of a frame split across a
+  page boundary leaves a short or CRC-failing payload, which the log
+  scan rejects, so a torn commit can never masquerade as a durable one;
+* :func:`recover` replays the committed frames against a freshly
+  mounted stack using the standard LSN redo test (apply iff
+  ``page.lsn < record.lsn``), then truncates the log — after the
+  replayed pages are flushed, every frame is superseded, and restarting
+  the log clean means the device never appends after torn bytes.
 
-A "crash" in tests/examples is: discard the buffer pool and any
-uncommitted WAL buffer; the Flash devices keep whatever they held.
+Durability is decided by the *device*, never by Python state: the scan
+in :meth:`WriteAheadLog.durable_frames` reads the log chip page by page
+(stopping at the first fully-erased page) and a fresh
+:class:`WriteAheadLog` constructed over a surviving chip recovers
+exactly what a long-lived instance would.  See ``docs/recovery.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass
 
 from repro.flash.chip import FlashChip
 from repro.flash.errors import IllegalProgramError
+from repro.flash.page import PageState
 
 _MAGIC_UPDATE = 0x5A
 _MAGIC_FORMAT = 0x5B
+_MAGIC_FRAME = 0x5C
 _ERASED = 0xFF
+_ERASED_CHAR = b"\xff"
+
+#: Commit-frame header: magic (1) + payload length (u32 LE) + CRC32 (u32 LE).
+FRAME_HEADER_SIZE = 9
 
 
 @dataclass(frozen=True)
@@ -105,6 +122,46 @@ def decode_records(data: bytes) -> list:
     return records
 
 
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap one transaction's records in a commit frame."""
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return (
+        bytes([_MAGIC_FRAME])
+        + len(payload).to_bytes(4, "little")
+        + crc.to_bytes(4, "little")
+        + payload
+    )
+
+
+def decode_frames(stream: bytes) -> list[bytes]:
+    """Extract the durable frame payloads from a raw log byte stream.
+
+    Walks frames front to back and stops at the first position that is
+    not a complete, CRC-verified frame — an erased tail, a torn frame
+    header, or a torn payload all terminate the committed prefix.
+    Everything beyond the first invalid frame is by construction
+    post-crash garbage (the writer is strictly sequential), so it is
+    never inspected.
+    """
+    frames: list[bytes] = []
+    pos = 0
+    n = len(stream)
+    while pos + FRAME_HEADER_SIZE <= n:
+        if stream[pos] != _MAGIC_FRAME:
+            break
+        length = int.from_bytes(stream[pos + 1 : pos + 5], "little")
+        crc = int.from_bytes(stream[pos + 5 : pos + 9], "little")
+        start = pos + FRAME_HEADER_SIZE
+        payload = stream[start : start + length]
+        if len(payload) < length:
+            break
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            break
+        frames.append(payload)
+        pos = start + length
+    return frames
+
+
 @dataclass
 class WalStats:
     """Log-side counters."""
@@ -121,6 +178,12 @@ class WriteAheadLog:
     The log appends within pages using partial programming (the same
     physical mechanism IPA uses — log devices have exploited it for
     years, which the paper cites as evidence the mechanism is sound).
+
+    Constructing the object *mounts* the chip: the append cursor is
+    positioned after the last programmed byte found on the device, so a
+    WriteAheadLog built over a chip that survived a crash carries no
+    stale Python state — durability queries and recovery read the
+    device, never in-memory mirrors.
     """
 
     def __init__(self, chip: FlashChip) -> None:
@@ -129,7 +192,7 @@ class WriteAheadLog:
         self._txn_buffer: list[bytes] = []
         self._page_index = 0
         self._page_offset = 0
-        self._durable_tail: list[bytes] = []  # mirror for fast recovery scans
+        self._mount()
 
     # ------------------------------------------------------------------ #
     # Logging
@@ -149,13 +212,19 @@ class WriteAheadLog:
         self.stats.records_logged += 1
 
     def commit(self) -> None:
-        """Force the buffered records to the log device (group commit)."""
+        """Force the buffered records to the log device (group commit).
+
+        The records are framed (magic + length + CRC) so that a crash
+        anywhere inside the flush leaves a frame the recovery scan
+        rejects as a unit: a transaction is either entirely durable or
+        entirely absent.
+        """
         if not self._txn_buffer:
             self.stats.commits += 1
             return
         payload = b"".join(self._txn_buffer)
         self._txn_buffer = []
-        self._append(payload)
+        self._append(encode_frame(payload))
         self.stats.commits += 1
 
     def discard(self) -> None:
@@ -185,39 +254,79 @@ class WriteAheadLog:
             self._page_offset += len(chunk)
             self.stats.bytes_flushed += len(chunk)
             self.stats.log_page_programs += 1
-        self._durable_tail.append(payload)
 
     # ------------------------------------------------------------------ #
     # Checkpoint / recovery
     # ------------------------------------------------------------------ #
 
     def truncate(self) -> None:
-        """Checkpoint: all data pages are durable; the log restarts."""
-        for block in range(self.chip.geometry.blocks):
+        """Checkpoint: all data pages are durable; the log restarts.
+
+        Blocks are erased back to front so a crash mid-truncate leaves
+        the log with a *valid prefix* (frames already superseded by the
+        flushed data pages — redo is idempotent) rather than an erased
+        head with unreachable frames behind it.
+        """
+        for block in reversed(range(self.chip.geometry.blocks)):
             self.chip.erase_block(block)
         self._page_index = 0
         self._page_offset = 0
-        self._durable_tail = []
         self._txn_buffer = []
+
+    def durable_frames(self) -> list[bytes]:
+        """Payloads of every complete commit frame, scanned off the device.
+
+        Device truth only: no volatile cursor is consulted, so the
+        result is identical for the instance that wrote the log and for
+        a fresh instance mounted over the chip after a crash.
+        """
+        return decode_frames(self._device_stream())
 
     def durable_records(self) -> list:
         """Every committed record, in log order (reads the log device)."""
-        records = []
-        for page_index in range(self._page_index + 1):
-            if page_index >= self.chip.geometry.total_pages:
-                break
+        return decode_records(b"".join(self.durable_frames()))
+
+    def _device_stream(self) -> bytes:
+        """Concatenated log bytes up to the first fully-erased page.
+
+        The writer fills pages strictly in order, so the first page with
+        no programmed byte terminates the log.  (A page of payload can
+        never read fully erased: record magics, frame headers and
+        16-bit offsets below the page size all force sub-0xFF bytes at
+        least every few bytes.)
+        """
+        chunks: list[bytes] = []
+        for page_index in range(self.chip.geometry.total_pages):
             data = self.chip.read_page(page_index)
-            if all(b == _ERASED for b in data):
+            if not data.strip(_ERASED_CHAR):
                 break
-            records.append(data)
-        return decode_records(_strip_erased(b"".join(records)))
+            chunks.append(data)
+        return b"".join(chunks)
 
+    def _mount(self) -> None:
+        """Position the append cursor from device state (no reads charged).
 
-def _strip_erased(data: bytes) -> bytes:
-    end = len(data)
-    while end > 0 and data[end - 1] == _ERASED:
-        end -= 1
-    return data[:end]
+        Finds the last page the writer touched (page states are free to
+        probe — mounting is not a simulated I/O) and points the cursor
+        just past its last non-erased byte.  Exact continuation is only
+        guaranteed after :func:`recover` + :meth:`truncate`; the scan
+        exists so a fresh instance never programs over surviving bytes.
+        """
+        last = -1
+        for page_index in range(self.chip.geometry.total_pages):
+            if self.chip.page_at(page_index).state is not PageState.PROGRAMMED:
+                break
+            last = page_index
+        if last < 0:
+            return
+        raw = self.chip.page_at(last).raw_data()
+        used = len(raw.rstrip(_ERASED_CHAR))
+        if used == 0:
+            # Programmed but reading all-0xFF (a pathological all-FF
+            # payload chunk): skip the page entirely rather than guess.
+            used = len(raw)
+        self._page_index = last
+        self._page_offset = used
 
 
 def recover(manager, wal: WriteAheadLog) -> int:
@@ -226,12 +335,15 @@ def recover(manager, wal: WriteAheadLog) -> int:
     Standard LSN test: a record is applied iff the page's on-disk LSN is
     older — records already persisted (e.g. via an IPA delta that made
     it to Flash before the crash) are skipped, making redo idempotent.
+    After the replay every surviving page is flushed and the log is
+    truncated, so the next transaction appends to a clean device.
 
     Returns:
-        The number of records applied.
+        The number of records that actually changed state: formats that
+        recreated a missing page, and updates whose bytes were applied.
+        Records that were no-ops (page already present, LSN already
+        current) are not counted.
     """
-    from repro.storage.layout import SlottedPage
-
     applied = 0
     max_lsn = 0
     for record in wal.durable_records():
@@ -240,11 +352,11 @@ def recover(manager, wal: WriteAheadLog) -> int:
             if record.lba not in manager.pool:
                 try:
                     manager.device.read_page(record.lba)
-                    continue  # page exists on flash; formatting would lose it
+                    # Page survived on flash; formatting would lose it.
                 except KeyError:
                     frame = manager.format_page(record.lba, record.file_id)
                     manager.unpin(frame)
-            applied += 1
+                    applied += 1
             continue
         frame = manager.fetch(record.lba)
         try:
@@ -261,4 +373,8 @@ def recover(manager, wal: WriteAheadLog) -> int:
             manager.unpin(frame)
     manager.flush_all()
     manager._next_lsn = max(manager._next_lsn, max_lsn + 1)
+    # The crashed transaction is gone; its no-steal locks must not
+    # outlive it (and the log restarts clean below).
+    manager._txn_locked_lbas.clear()
+    wal.truncate()
     return applied

@@ -1,0 +1,144 @@
+"""Chip-level power-loss injection.
+
+:class:`FaultInjector` attaches to one or more :class:`FlashChip`
+instances (data chip + WAL chip share one injector so the op count spans
+the whole stack) and counts every mutating flash operation.  When the
+armed count is reached the operation is *torn*: a seeded random prefix
+of its byte transfer is persisted to the cells and
+:class:`PowerLossError` propagates up through whatever host code issued
+the write — mid-transaction, mid-group-commit, mid-GC-migration,
+mid-erase.  After the trip every further mutation raises immediately
+(the machine is off), so host-side cleanup paths cannot accidentally
+keep writing.
+
+Tear semantics per operation (matching how the transfer is ordered on
+a real bus):
+
+* ``program`` / ``reprogram`` — the first ``cut`` bytes of
+  ``data || oob`` land; the rest keep their previous charge.
+* ``partial_program`` — the first ``cut`` bytes of
+  ``payload || oob_payload`` land within their target ranges.
+* ``erase`` — atomic at block granularity: a seeded coin decides
+  whether the crash hit just before (block untouched) or just after
+  (block fully erased) the erase pulse.  Real NAND erase is not
+  byte-granular, so partially-erased blocks are not modelled.
+
+The injector never weakens validation: chips call it *after* their own
+legality checks, so a torn write is always a prefix of a write the
+hardware would have accepted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flash.block import EraseBlock
+    from repro.flash.chip import FlashChip
+    from repro.flash.page import PhysicalPage
+
+
+class PowerLossError(RuntimeError):
+    """Simulated sudden power loss: the interrupted op did not complete."""
+
+
+class FaultInjector:
+    """Counts mutating flash ops and tears the N-th one.
+
+    Args:
+        crash_after_ops: 1-based index of the mutating op to interrupt
+            (``1`` tears the very first write).  ``None`` never crashes —
+            the injector just counts, which is how the harness measures
+            the op-count budget of a crash-free oracle run.
+        seed: Seed for the byte-cut / erase-coin RNG.  The same
+            ``(crash_after_ops, seed)`` pair always tears the same op at
+            the same byte, so every sweep failure is replayable.
+    """
+
+    def __init__(self, crash_after_ops: int | None, seed: int = 0) -> None:
+        if crash_after_ops is not None and crash_after_ops < 1:
+            raise ValueError("crash_after_ops must be >= 1 (or None)")
+        self.crash_after_ops = crash_after_ops
+        self._rng = random.Random(seed)
+        self.ops_seen = 0
+        self.tripped = False
+        #: Human-readable description of the torn op, set when tripped.
+        self.crash_op: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # Attachment
+    # ------------------------------------------------------------------ #
+
+    def attach(self, *chips: "FlashChip") -> "FaultInjector":
+        """Install this injector on every given chip (returns self)."""
+        for chip in chips:
+            chip.fault_injector = self
+        return self
+
+    @staticmethod
+    def detach(*chips: "FlashChip") -> None:
+        """Remove any injector from the given chips."""
+        for chip in chips:
+            chip.fault_injector = None
+
+    # ------------------------------------------------------------------ #
+    # Chip hooks (called after validation, before mutation)
+    # ------------------------------------------------------------------ #
+
+    def on_program(
+        self,
+        page: "PhysicalPage",
+        data: bytes,
+        oob: bytes | None,
+        reprogram: bool,
+    ) -> None:
+        if not self._tick():
+            return
+        total = len(data) + (len(oob) if oob is not None else 0)
+        cut = self._rng.randrange(total + 1)
+        page.apply_torn_program(data, oob, cut)
+        kind = "reprogram" if reprogram else "program"
+        self.crash_op = f"{kind} torn at byte {cut}/{total}"
+        raise PowerLossError(f"power loss: {self.crash_op}")
+
+    def on_partial(
+        self,
+        page: "PhysicalPage",
+        offset: int,
+        payload: bytes,
+        oob_offset: int | None,
+        oob_payload: bytes | None,
+    ) -> None:
+        if not self._tick():
+            return
+        total = len(payload) + (len(oob_payload) if oob_payload is not None else 0)
+        cut = self._rng.randrange(total + 1)
+        page.apply_torn_range(offset, payload, oob_offset, oob_payload, cut)
+        self.crash_op = f"partial_program torn at byte {cut}/{total}"
+        raise PowerLossError(f"power loss: {self.crash_op}")
+
+    def on_erase(self, block: "EraseBlock") -> None:
+        if not self._tick():
+            return
+        completed = self._rng.random() < 0.5
+        if completed:
+            block.erase()
+        self.crash_op = f"erase ({'after' if completed else 'before'} pulse)"
+        raise PowerLossError(f"power loss: {self.crash_op}")
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _tick(self) -> bool:
+        """Count one mutating op; True when this op must be torn."""
+        if self.tripped:
+            raise PowerLossError("power is off: write after simulated crash")
+        self.ops_seen += 1
+        if self.crash_after_ops is None:
+            return False
+        if self.ops_seen >= self.crash_after_ops:
+            self.tripped = True
+            return True
+        return False

@@ -54,6 +54,15 @@ class FlashChip:
     #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
     tracer = NULL_TRACER
 
+    #: Fault injection: replaced per-instance by
+    #: ``repro.fault.FaultInjector.attach``.  When set, every mutating
+    #: operation (program / reprogram / partial_program / erase) reports to
+    #: the injector *after* validation but *before* the cells change, so a
+    #: simulated power loss persists exactly the prefix of bytes the
+    #: injector allows and nothing else (latency/stats are not charged for
+    #: the interrupted operation — the machine is off).
+    fault_injector = None
+
     def __init__(
         self,
         geometry: FlashGeometry,
@@ -200,6 +209,9 @@ class FlashChip:
             )
         if len(data) != self._page_size:
             data = self._pad(data)
+        fi = self.fault_injector
+        if fi is not None:
+            fi.on_program(block.pages[page_idx], data, oob, reprogram=False)
         block.pages[page_idx].program(data, oob)
         nbytes = len(data) + (len(oob) if oob else 0)
         self._charge_program(block_idx, page_idx, nbytes, reprogram=False)
@@ -226,6 +238,9 @@ class FlashChip:
             )
         if len(data) != self._page_size:
             data = self._pad(data)
+        fi = self.fault_injector
+        if fi is not None:
+            fi.on_program(block.pages[page_idx], data, oob, reprogram=True)
         block.pages[page_idx].reprogram(data, oob)
         nbytes = len(data) + (len(oob) if oob else 0)
         self._charge_program(block_idx, page_idx, nbytes, reprogram=True)
@@ -273,6 +288,9 @@ class FlashChip:
                 f"page {page_idx} may not be reprogrammed in "
                 f"{self.mode.value} mode"
             )
+        fi = self.fault_injector
+        if fi is not None:
+            fi.on_partial(page, offset, payload, oob_offset, oob_payload)
         page.append_range(offset, payload, oob_offset, oob_payload)
         # Latency/stats: a reprogram pulse train, but only the payload
         # crosses the bus (the whole point of write_delta).
@@ -282,6 +300,9 @@ class FlashChip:
     def erase_block(self, block_idx: int) -> None:
         """Erase one block (all pages, data and OOB)."""
         self.geometry.check_block(block_idx)
+        fi = self.fault_injector
+        if fi is not None:
+            fi.on_erase(self.blocks[block_idx])
         self.blocks[block_idx].erase()
         self.clock.advance(self.latency.erase_us, "erase")
         self.stats.block_erases += 1

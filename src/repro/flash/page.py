@@ -218,6 +218,51 @@ class PhysicalPage:
         self.state = PageState.PROGRAMMED
         self.program_passes += 1
 
+    def apply_torn_program(
+        self, data: bytes, oob: bytes | None, cut: int
+    ) -> None:
+        """Persist a power-loss-interrupted (re)program: only a prefix lands.
+
+        Fault-injection only (:mod:`repro.fault`).  Models the physical
+        outcome of losing power mid-pulse at byte granularity: the first
+        ``cut`` bytes of the ``data || oob`` stream reach the cells, the
+        rest keep their previous charge.  Because the OOB trails the data
+        area, any tear leaves the OOB metadata incomplete — which is what
+        lets mount-time scans detect and discard torn pages.
+        """
+        k = min(cut, len(data))
+        if k > 0:
+            self._data[0:k] = data[:k]
+            self.state = PageState.PROGRAMMED
+            self.program_passes += 1
+        rem = cut - len(data)
+        if oob is not None and rem > 0:
+            self._oob[0 : min(rem, len(oob))] = oob[: min(rem, len(oob))]
+
+    def apply_torn_range(
+        self,
+        offset: int,
+        payload: bytes,
+        oob_offset: int | None,
+        oob_payload: bytes | None,
+        cut: int,
+    ) -> None:
+        """Persist a power-loss-interrupted partial program (see above).
+
+        The tear applies to the ``payload || oob_payload`` transfer: the
+        delta bytes land first, the per-delta OOB ECC slot only if the
+        whole payload made it — so a torn ``write_delta`` always leaves
+        its ECC slot incomplete and therefore detectable.
+        """
+        k = min(cut, len(payload))
+        if k > 0:
+            self._data[offset : offset + k] = payload[:k]
+            self.program_passes += 1
+        rem = cut - len(payload)
+        if oob_payload is not None and oob_offset is not None and rem > 0:
+            take = min(rem, len(oob_payload))
+            self._oob[oob_offset : oob_offset + take] = oob_payload[:take]
+
     def raw_data(self) -> bytes:
         """Pristine data image, bypassing the ECC check (for legality tests)."""
         return bytes(self._data)

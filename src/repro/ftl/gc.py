@@ -15,8 +15,10 @@ from collections import deque
 
 from repro.flash.chip import FlashChip
 from repro.flash.errors import BadBlockError
+from repro.flash.page import PageState
 from repro.flash.stats import DeviceStats
 from repro.ftl.interface import DeviceFullError
+from repro.ftl.oob_meta import OOB_META_SIZE, pack_oob_meta, unpack_oob_meta
 from repro.obs.trace import NULL_TRACER
 
 
@@ -97,6 +99,15 @@ class BlockManager:
         #: Per-ppn number of delta-records appended since the page was
         #: written (device-side metadata backing write_delta's OOB slots).
         self.appends_done: dict[int, int] = {}
+        #: Durable mapping metadata (see :mod:`repro.ftl.oob_meta`): when
+        #: the OOB can hold the 17-byte record, every out-of-place write
+        #: stamps ``(lba, seq)`` into the OOB tail so the mapping dicts
+        #: above can be rebuilt from media after a crash.
+        oob_size = chip.geometry.oob_size
+        self._oob_meta_enabled = oob_size >= OOB_META_SIZE
+        self._meta_off = oob_size - OOB_META_SIZE
+        self._oob_size = oob_size
+        self._seq = 0
 
         usable_total = len(self._usable_offsets) * len(self.block_ids)
         self.logical_pages = int(usable_total * (1.0 - over_provisioning))
@@ -137,6 +148,8 @@ class BlockManager:
         """
         self._check_lba(lba)
         ppn = self._allocate()
+        if self._oob_meta_enabled:
+            oob = self._stamp_meta(oob, lba)
         self.chip.program_page(ppn, data, oob)
         # Read the mapping only now: GC inside _allocate() may just have
         # migrated this very LBA, and the pre-allocation ppn would be stale.
@@ -172,8 +185,77 @@ class BlockManager:
             self.stats.trims += 1
 
     # ------------------------------------------------------------------ #
+    # Remount (crash recovery)
+    # ------------------------------------------------------------------ #
+
+    def rebuild_from_media(self) -> None:
+        """Reconstruct all volatile state from the chip's OOB metadata.
+
+        Call on a freshly constructed manager whose chip already holds
+        data (a post-crash remount).  For every owned block, scans the
+        usable pages' OOB tails and keeps the highest-sequence complete
+        record per LBA; pages with torn or absent metadata are treated
+        as never written, which reverts their LBA to its previous
+        complete copy.  Blocks containing any programmed page stay out
+        of the free pool (their erased tail is unreachable until GC
+        reclaims them — conservative, but correct after any crash).
+
+        ``appends_done`` is reset to 0 for every mapped page; callers
+        that track delta slots (NoFTL IPA regions) recount them from
+        the OOB slots afterwards.
+        """
+        if not self._oob_meta_enabled:
+            raise RuntimeError(
+                f"OOB of {self._oob_size} B cannot hold mapping metadata "
+                f"({OOB_META_SIZE} B needed); remount is unsupported"
+            )
+        geometry = self.chip.geometry
+        best: dict[int, tuple[int, int]] = {}  # lba -> (seq, ppn)
+        occupied: set[int] = set()
+        max_seq = -1
+        meta_off = self._meta_off
+        for block_id in self.block_ids:
+            pages = self.chip.blocks[block_id].pages
+            for page_offset in self._usable_offsets:
+                page = pages[page_offset]
+                if page.state is not PageState.PROGRAMMED:
+                    continue
+                occupied.add(block_id)
+                meta = unpack_oob_meta(page.raw_oob()[meta_off:])
+                if meta is None:
+                    continue  # torn write or unstamped page: not addressable
+                lba, seq = meta
+                if not 0 <= lba < self.logical_pages:
+                    continue
+                max_seq = max(max_seq, seq)
+                cur = best.get(lba)
+                if cur is None or seq > cur[0]:
+                    best[lba] = (seq, geometry.make_ppn(block_id, page_offset))
+        self.mapping = {lba: ppn for lba, (_seq, ppn) in best.items()}
+        self._rmap = {ppn: lba for lba, ppn in self.mapping.items()}
+        self._valid = {b: 0 for b in self.block_ids}
+        for ppn in self._rmap:
+            self._valid[ppn // geometry.pages_per_block] += 1
+        self.appends_done = {ppn: 0 for ppn in self._rmap}
+        self._free = deque(b for b in self.block_ids if b not in occupied)
+        self._active = None
+        self._cursor = 0
+        self._seq = max_seq + 1
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _stamp_meta(self, oob: bytes | None, lba: int) -> bytes:
+        """Merge the durable mapping record into an outgoing OOB image."""
+        buf = (
+            bytearray(b"\xff" * self._oob_size)
+            if oob is None
+            else bytearray(oob)
+        )
+        buf[self._meta_off :] = pack_oob_meta(lba, self._seq)
+        self._seq += 1
+        return bytes(buf)
 
     def _check_lba(self, lba: int) -> None:
         if not 0 <= lba < self.logical_pages:

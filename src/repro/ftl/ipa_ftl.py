@@ -119,6 +119,15 @@ class IpaFtl:
         """Not part of the block-device protocol: always False."""
         return False
 
+    def rebuild_from_media(self) -> None:
+        """Remount: rebuild the mapping table from the chip's OOB metadata.
+
+        In-place reprograms never rewrite the OOB, so a page's mapping
+        record (written by its original out-of-place program) stays valid
+        across any number of IPA overwrites.
+        """
+        self._blocks.rebuild_from_media()
+
     def trim(self, lba: int) -> None:
         """Invalidate a dead logical page."""
         self._blocks.trim(lba)

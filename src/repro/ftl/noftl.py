@@ -19,11 +19,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.config import DELTA_METADATA_SIZE, PAIR_SIZE
 from repro.flash.chip import FlashChip
-from repro.flash.ecc import OobLayout, crc_slot
-from repro.flash.errors import IllegalProgramError, ModeViolationError
+from repro.flash.ecc import ECC_SLOT_SIZE, OobLayout, crc_slot
+from repro.flash.errors import (
+    IllegalProgramError,
+    ModeViolationError,
+    OobOverflowError,
+)
 from repro.flash.stats import DeviceStats
 from repro.ftl.gc import BlockManager
+from repro.ftl.oob_meta import OOB_META_SIZE
 from repro.obs.trace import NULL_TRACER
 
 
@@ -84,6 +90,23 @@ class Region:
         self._oob_layout = (
             OobLayout(chip.geometry.oob_size, ipa.n_records) if ipa else None
         )
+        if ipa is not None:
+            oob_size = chip.geometry.oob_size
+            slots_end = (1 + ipa.n_records) * ECC_SLOT_SIZE
+            if oob_size >= OOB_META_SIZE and slots_end > oob_size - OOB_META_SIZE:
+                raise OobOverflowError(
+                    f"OOB of {oob_size} B cannot hold 1+{ipa.n_records} ECC "
+                    f"slots plus the {OOB_META_SIZE} B mapping record"
+                )
+            # The device-side image of one delta-record: control byte,
+            # M (offset16, value8) pairs, and the delta_metadata copy
+            # (Figure 3).  write_delta rejects anything larger — that is
+            # the M contract of the region configuration.
+            self._max_delta_bytes = (
+                1 + PAIR_SIZE * ipa.m_bytes + DELTA_METADATA_SIZE
+            )
+        else:
+            self._max_delta_bytes = 0
 
     @property
     def logical_pages(self) -> int:
@@ -136,11 +159,14 @@ class Region:
         """The paper's command: append a delta-record to the page in place.
 
         Returns False (caller falls back to :meth:`write_page`) when the
-        region has IPA disabled, the LBA is unmapped, the physical page's
+        region has IPA disabled, the payload exceeds the configured
+        M-byte record size, the LBA is unmapped, the physical page's
         mode forbids reprogramming, all N OOB slots are used, or the
         append region is not erased.
         """
         if self.ipa is None or self._oob_layout is None:
+            return False
+        if len(payload) > self._max_delta_bytes:
             return False
         local = self._local(lba)
         ppn = self._blocks.ppn_of(local)
@@ -162,7 +188,9 @@ class Region:
             return False
         self._blocks.appends_done[ppn] = used + 1
         self.stats.host_delta_writes += 1
-        self.stats.host_bytes_written += len(payload)
+        # The OOB CRC slot crosses the host interface too (the DBMS ships
+        # it with the delta in the write_delta command), so it counts.
+        self.stats.host_bytes_written += len(payload) + ECC_SLOT_SIZE
         self.stats.in_place_appends += 1
         tr = self.tracer
         if tr.enabled:
@@ -174,6 +202,23 @@ class Region:
                 slot=used + 1,
             )
         return True
+
+    def rebuild_from_media(self) -> None:
+        """Remount: rebuild mapping and delta-slot counts from the chip.
+
+        After the BlockManager reconstructs the mapping from OOB
+        metadata, every mapped page's delta-slot usage is recounted from
+        its OOB ECC slots (Figure 3): a partially programmed slot —
+        a torn ``write_delta`` — counts as used, so the device never
+        appends into a dirty slot.
+        """
+        self._blocks.rebuild_from_media()
+        if self._oob_layout is not None:
+            for ppn in self._blocks.appends_done:
+                oob = self.chip.page_at(ppn).raw_oob()
+                self._blocks.appends_done[ppn] = (
+                    self._oob_layout.used_delta_slots(oob)
+                )
 
     def appends_on(self, lba: int) -> int:
         """Delta-records appended to the LBA's current physical page."""
@@ -344,6 +389,11 @@ class NoFtlDevice:
     def write_delta(self, lba: int, offset: int, payload: bytes) -> bool:
         """Route the write_delta command to the owning region."""
         return self.region_of(lba).write_delta(lba, offset, payload)
+
+    def rebuild_from_media(self) -> None:
+        """Remount every region's mapping from the surviving chip state."""
+        for region in self.regions:
+            region.rebuild_from_media()
 
     def trim(self, lba: int) -> None:
         """Invalidate a dead logical page."""

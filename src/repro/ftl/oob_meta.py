@@ -1,0 +1,62 @@
+"""Per-page mapping metadata in the OOB tail: what makes remount possible.
+
+Every FTL in this repo keeps its logical-to-physical mapping in plain
+Python dicts — volatile state that a power loss destroys.  Real FTLs
+solve this the same way we do here: each physical page carries its
+owning LBA and a monotonically increasing sequence number in the spare
+area, written atomically with the data in the same program operation,
+so a cold mount can rebuild the mapping by scanning the OOB of every
+page and keeping the highest sequence number per LBA.
+
+The 17-byte record lives at the *end* of the OOB area so it never
+collides with the Figure-3 ECC slots at the start (slot 0 + N delta
+slots, 8 bytes each)::
+
+    magic (1) | lba (u32 LE) | seq (u64 LE) | crc32 of the above (u32 LE)
+
+The trailing CRC doubles as the torn-write detector: the OOB bytes are
+the last bytes of a program transfer, so a power loss mid-program always
+leaves the metadata incomplete, the CRC fails, and the mount scan treats
+the page as never written — reverting the LBA to its previous complete
+copy (which has a lower sequence number but an intact record).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+#: First byte of a valid metadata record.
+OOB_META_MAGIC = 0xA7
+
+#: Total record size: 1 + 4 + 8 + 4.
+OOB_META_SIZE = 17
+
+_BODY = struct.Struct("<BIQ")
+_CRC = struct.Struct("<I")
+
+
+def pack_oob_meta(lba: int, seq: int) -> bytes:
+    """Encode the mapping record for one physical page."""
+    body = _BODY.pack(OOB_META_MAGIC, lba, seq)
+    return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def unpack_oob_meta(raw: bytes) -> tuple[int, int] | None:
+    """Decode ``(lba, seq)`` from an OOB tail, or None if absent/torn.
+
+    None covers every non-valid case uniformly: erased tail, torn
+    (CRC-failing) record, or OOB written by a path that predates the
+    metadata — the mount scan treats them all as "this page holds no
+    addressable data".
+    """
+    if len(raw) < OOB_META_SIZE:
+        return None
+    body = raw[:_BODY.size]
+    if body[0] != OOB_META_MAGIC:
+        return None
+    (crc,) = _CRC.unpack_from(raw, _BODY.size)
+    if crc != (zlib.crc32(body) & 0xFFFFFFFF):
+        return None
+    _magic, lba, seq = _BODY.unpack(body)
+    return lba, seq

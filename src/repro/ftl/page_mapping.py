@@ -88,6 +88,10 @@ class PageMappingFtl:
         """Unsupported on a block-device interface: always False."""
         return False
 
+    def rebuild_from_media(self) -> None:
+        """Remount: rebuild the mapping table from the chip's OOB metadata."""
+        self._blocks.rebuild_from_media()
+
     def trim(self, lba: int) -> None:
         """Invalidate a dead logical page (no rewrite)."""
         self._blocks.trim(lba)

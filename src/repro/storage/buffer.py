@@ -115,6 +115,14 @@ class BufferPool:
         self._referenced: dict[int, bool] = {}  # clock reference bits
         self._hand = 0
         self.stats = BufferStats()
+        #: Optional soft no-steal hook (set by the storage manager when a
+        #: WAL is attached): a predicate marking frames that *prefer* not
+        #: to be evicted — pages dirtied by a transaction that has not
+        #: committed yet.  Vetoed frames are passed over while any other
+        #: unpinned frame exists; if every evictable frame is vetoed the
+        #: pool steals one anyway (redo-only logging tolerates it for
+        #: crash-free runs, and tiny pools must not deadlock).
+        self.evict_veto: Optional[Callable[[Frame], bool]] = None
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -147,14 +155,22 @@ class BufferPool:
         self._referenced[frame.lba] = False
 
     def _pick_victim(self) -> Frame:
+        veto = self.evict_veto
         if self.replacement == "lru":
+            fallback = None
             for frame in self._frames.values():
                 if frame.pin_count == 0:
-                    return frame
+                    if veto is None or not veto(frame):
+                        return frame
+                    if fallback is None:
+                        fallback = frame
+            if fallback is not None:
+                return fallback  # every evictable frame vetoed: steal
             raise BufferPoolFullError("all frames pinned")
         # CLOCK: sweep, granting one second chance per referenced frame.
         order = list(self._frames.values())
         sweeps = 0
+        fallback = None
         while sweeps < 2 * len(order) + 1:
             frame = order[self._hand % len(order)]
             self._hand = (self._hand + 1) % len(order)
@@ -164,7 +180,13 @@ class BufferPool:
             if self._referenced.get(frame.lba, False):
                 self._referenced[frame.lba] = False
                 continue
+            if veto is not None and veto(frame):
+                if fallback is None:
+                    fallback = frame
+                continue
             return frame
+        if fallback is not None:
+            return fallback  # every evictable frame vetoed: steal
         raise BufferPoolFullError("all frames pinned")
 
     def _evict_one(self) -> None:

@@ -27,8 +27,8 @@ from repro.core.config import (
     PAGE_HEADER_SIZE,
     IpaScheme,
 )
-from repro.core.delta import DeltaRecord
-from repro.core.reconstruct import reconstruct
+from repro.core.delta import DeltaFormatError, DeltaRecord
+from repro.core.reconstruct import ReconstructionError, reconstruct
 from repro.core.tracker import ChangeTracker
 from repro.flash.latency import HostCostModel
 from repro.ftl.interface import FlashBackend
@@ -49,6 +49,9 @@ class ManagerStats:
     ipa_fallbacks: int = 0  # device refused an append mid-flush
     update_ops: int = 0
     net_bytes_updated: int = 0
+    #: Pages whose checksum only verified after dropping a torn trailing
+    #: delta-record (post-crash fetches; see _load_page).
+    torn_repairs: int = 0
     #: Per-file-id changed-byte sizes of update operations — raw material
     #: for the region advisor (repro.analysis.advisor).
     per_file_op_sizes: dict = None  # type: ignore[assignment]
@@ -254,6 +257,13 @@ class StorageManager:
         #: Optional write-ahead log (see :mod:`repro.engine.wal`): when
         #: attached, every update operation and page format is logged.
         self.wal = None
+        #: LBAs dirtied by the currently open transaction (WAL attached
+        #: only).  The buffer pool avoids evicting them until
+        #: :meth:`commit_wal` clears the set — a soft no-steal policy, so
+        #: a crash cannot leave uncommitted bytes on the data device that
+        #: the redo-only log knows nothing about.
+        self._txn_locked_lbas: set[int] = set()
+        self.pool.evict_veto = self._evict_veto
 
     @property
     def page_size(self) -> int:
@@ -269,6 +279,7 @@ class StorageManager:
             raise ValueError(f"lba {lba} already resident")
         if self.wal is not None:
             self.wal.log_format(self._take_lsn(), lba, file_id)
+            self._txn_locked_lbas.add(lba)
         page = SlottedPage.fresh(lba, self.page_size, self.scheme, file_id=file_id)
         tracker = ChangeTracker(
             self.scheme, 0, PAGE_HEADER_SIZE, page.delta_start
@@ -295,13 +306,7 @@ class StorageManager:
         else:
             with tr.span("page_fetch", lba=lba):
                 image = self.device.read_page(lba)
-        page_buf, k = reconstruct(image, self.scheme)
-        page = SlottedPage(page_buf, self.scheme)
-        if self.verify_checksums and not page.verify_checksum():
-            raise PageCorruptError(
-                f"checksum mismatch on lba {lba} after reconstruction "
-                f"({k} delta-records applied)"
-            )
+        page, k = self._load_page(image, lba)
         tracker = ChangeTracker(
             self.scheme, k, PAGE_HEADER_SIZE, page.delta_start
         )
@@ -346,10 +351,29 @@ class StorageManager:
                 ).append(frame.tracker.op_sizes[-1])
             if self.wal is not None and lsn:
                 self.wal.log_update(lsn, lba, frame.tracker.last_op_changes)
+                self._txn_locked_lbas.add(lba)
             frame.mark_dirty()
             self.stats.update_ops += 1
             self.clock.advance(self.host_costs.ipa_tracking_us, "host")
             frame.unpin()
+
+    def commit_wal(self) -> None:
+        """Group-commit the open transaction and release its pages.
+
+        Routes through the manager (rather than calling ``wal.commit()``
+        directly) so the no-steal set is cleared in the same step that
+        makes the transaction durable: from here on its dirty pages may
+        reach the data device freely.
+        """
+        if self.wal is not None:
+            self.wal.commit()
+        self._txn_locked_lbas.clear()
+
+    def abort_wal(self) -> None:
+        """Drop the open transaction's log records and release its pages."""
+        if self.wal is not None:
+            self.wal.discard()
+        self._txn_locked_lbas.clear()
 
     def flush_all(self) -> None:
         """Checkpoint: push every dirty frame to the device."""
@@ -379,6 +403,43 @@ class StorageManager:
         lsn = self._next_lsn
         self._next_lsn += 1
         return lsn
+
+    def _evict_veto(self, frame: Frame) -> bool:
+        return frame.lba in self._txn_locked_lbas
+
+    def _load_page(self, image: bytes, lba: int) -> tuple[SlottedPage, int]:
+        """Reconstruct + checksum-verify, repairing a torn delta tail.
+
+        A power loss during an in-place append (write_delta or a
+        Scenario-2 composed reprogram) can only corrupt delta-area
+        bytes: the body is byte-identical to the previous durable image,
+        so the physical tear lands entirely inside the record being
+        appended.  When the straight reconstruction fails, retry with
+        successively fewer delta-records until the checksum verifies —
+        shedding the torn record recovers the last durable version, and
+        the WAL redo reapplies the lost update if it was committed.
+        """
+        try:
+            page_buf, k = reconstruct(image, self.scheme)
+            page = SlottedPage(page_buf, self.scheme)
+            if not self.verify_checksums or page.verify_checksum():
+                return page, k
+        except (DeltaFormatError, ReconstructionError):
+            if not self.verify_checksums:
+                raise
+        for cap in range(self.scheme.n_records - 1, -1, -1):
+            try:
+                page_buf, k = reconstruct(image, self.scheme, max_records=cap)
+                page = SlottedPage(page_buf, self.scheme)
+            except (DeltaFormatError, ReconstructionError):
+                continue
+            if page.verify_checksum():
+                self.stats.torn_repairs += 1
+                return page, k
+        raise PageCorruptError(
+            f"checksum mismatch on lba {lba}: no delta-record prefix "
+            f"reconstructs to a valid page"
+        )
 
     def _flush(self, frame: Frame) -> None:
         # Account net change before the policy resets the tracker.

@@ -1,0 +1,158 @@
+"""Chip-level semantics of the power-loss injector.
+
+Torn writes must persist exactly the seeded prefix of the byte transfer,
+and after the trip the chip must refuse every further mutation — host
+cleanup code running after a crash cannot keep writing.
+"""
+
+import random
+
+import pytest
+
+from repro.fault import FaultInjector, PowerLossError
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.flash.page import PageState
+
+GEO = FlashGeometry(page_size=64, oob_size=16, pages_per_block=4, blocks=4)
+
+
+def expected_cut(seed: int, total: int) -> int:
+    """Replicate the injector's seeded byte-cut draw."""
+    return random.Random(seed).randrange(total + 1)
+
+
+def seed_with_cut(total: int, want) -> int:
+    """Deterministically find a seed whose first draw satisfies ``want``."""
+    return next(s for s in range(10_000) if want(expected_cut(s, total)))
+
+
+class TestTornProgram:
+    def test_prefix_of_data_then_oob_lands(self):
+        chip = FlashChip(GEO)
+        data = bytes(range(64))
+        oob = bytes(range(100, 116))
+        total = len(data) + len(oob)
+        # Pick a cut inside the OOB half: all data + some OOB must land.
+        seed = seed_with_cut(total, lambda c: len(data) < c < total)
+        cut = expected_cut(seed, total)
+        FaultInjector(crash_after_ops=1, seed=seed).attach(chip)
+        with pytest.raises(PowerLossError):
+            chip.program_page(0, data, oob)
+        page = chip.page_at(0)
+        assert page.raw_data() == data
+        landed = cut - len(data)
+        assert page.raw_oob()[:landed] == oob[:landed]
+        assert page.raw_oob()[landed:] == b"\xff" * (16 - landed)
+        assert page.state is PageState.PROGRAMMED
+
+    def test_cut_zero_leaves_page_erased(self):
+        chip = FlashChip(GEO)
+        seed = seed_with_cut(80, lambda c: c == 0)
+        FaultInjector(crash_after_ops=1, seed=seed).attach(chip)
+        with pytest.raises(PowerLossError):
+            chip.program_page(0, bytes(64), bytes(16))
+        assert chip.page_at(0).state is PageState.ERASED
+        assert chip.page_at(0).raw_data() == b"\xff" * 64
+
+    def test_full_cut_equals_completed_write(self):
+        chip = FlashChip(GEO)
+        data = bytes(range(64))
+        oob = bytes(range(16))
+        seed = seed_with_cut(80, lambda c: c == 80)
+        FaultInjector(crash_after_ops=1, seed=seed).attach(chip)
+        with pytest.raises(PowerLossError):
+            chip.program_page(0, data, oob)
+        assert chip.page_at(0).raw_data() == data
+        assert chip.page_at(0).raw_oob() == oob
+
+
+class TestTornPartialProgram:
+    def test_payload_prefix_lands_in_range(self):
+        chip = FlashChip(GEO)
+        payload = bytes(range(1, 17))
+        seed = seed_with_cut(16, lambda c: 0 < c < 16)
+        cut = expected_cut(seed, 16)
+        FaultInjector(crash_after_ops=1, seed=seed).attach(chip)
+        with pytest.raises(PowerLossError):
+            chip.partial_program(0, 8, payload)
+        raw = chip.page_at(0).raw_data()
+        assert raw[8 : 8 + cut] == payload[:cut]
+        assert raw[8 + cut : 24] == b"\xff" * (16 - cut)
+        assert raw[:8] == b"\xff" * 8
+
+
+class TestTornErase:
+    def _chip_with_programmed_block(self):
+        chip = FlashChip(GEO)
+        chip.program_page(0, bytes(64), bytes(16))
+        return chip
+
+    def test_coin_decides_before_or_after_pulse(self):
+        seen = set()
+        for seed in range(20):
+            chip = self._chip_with_programmed_block()
+            FaultInjector(crash_after_ops=1, seed=seed).attach(chip)
+            with pytest.raises(PowerLossError):
+                chip.erase_block(0)
+            erased = chip.page_at(0).state is PageState.ERASED
+            seen.add(erased)
+            if erased:
+                assert chip.page_at(0).raw_data() == b"\xff" * 64
+            else:
+                assert chip.page_at(0).raw_data() == bytes(64)
+        assert seen == {True, False}, "both erase-crash outcomes must occur"
+
+
+class TestTrippedBehaviour:
+    def test_every_mutation_after_trip_raises_without_effect(self):
+        chip = FlashChip(GEO)
+        chip.program_page(4, bytes(64), None)  # block 1, survives
+        FaultInjector(crash_after_ops=1, seed=3).attach(chip)
+        with pytest.raises(PowerLossError):
+            chip.program_page(0, bytes(64), None)
+        for op in (
+            lambda: chip.program_page(1, bytes(64), None),
+            lambda: chip.partial_program(2, 0, b"\x00"),
+            lambda: chip.erase_block(1),
+        ):
+            with pytest.raises(PowerLossError):
+                op()
+        assert chip.page_at(4).raw_data() == bytes(64)
+        assert chip.page_at(1).state is PageState.ERASED
+
+    def test_detach_restores_normal_operation(self):
+        chip = FlashChip(GEO)
+        injector = FaultInjector(crash_after_ops=1, seed=0).attach(chip)
+        with pytest.raises(PowerLossError):
+            chip.program_page(0, bytes(64), None)
+        FaultInjector.detach(chip)
+        chip.program_page(1, bytes(range(64)), None)
+        assert chip.read_page(1) == bytes(range(64))
+        assert injector.tripped
+
+
+class TestCountingMode:
+    def test_counts_without_interfering(self):
+        chip = FlashChip(GEO)
+        counter = FaultInjector(crash_after_ops=None).attach(chip)
+        chip.program_page(0, bytes(range(64)), None)
+        chip.partial_program(1, 0, b"\x01\x02")
+        chip.erase_block(1)
+        assert counter.ops_seen == 3
+        assert not counter.tripped
+        assert chip.read_page(0) == bytes(range(64))
+
+    def test_crash_op_is_replayable_description(self):
+        chip = FlashChip(GEO)
+        injector = FaultInjector(crash_after_ops=2, seed=7).attach(chip)
+        chip.program_page(0, bytes(64), None)
+        with pytest.raises(PowerLossError):
+            chip.program_page(1, bytes(64), None)
+        assert injector.crash_op is not None
+        assert "torn at byte" in injector.crash_op
+        assert injector.ops_seen == 2
+
+    def test_rejects_nonpositive_crash_point(self):
+        with pytest.raises(ValueError):
+            FaultInjector(crash_after_ops=0)

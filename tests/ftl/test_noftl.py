@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro.core.config import DELTA_METADATA_SIZE, PAIR_SIZE
 from repro.flash.chip import FlashChip
-from repro.flash.ecc import OobLayout, slot_matches
+from repro.flash.ecc import ECC_SLOT_SIZE, OobLayout, slot_matches
 from repro.flash.geometry import FlashGeometry
 from repro.flash.modes import FlashMode
 from repro.ftl.noftl import IpaRegionConfig, NoFtlDevice
@@ -68,13 +69,28 @@ class TestWriteDelta:
         assert dev.stats.page_invalidations == 0
         assert dev.stats.host_delta_writes == 1
 
-    def test_delta_transfers_only_payload(self):
+    def test_delta_transfers_payload_plus_crc_slot(self):
         dev = make_device()
         dev.create_region("hot", blocks=16, ipa=IPA_2x4)
         dev.write_page(0, image(b"body"))
         before = dev.stats.host_bytes_written
         dev.write_delta(0, 100, b"DELTA")
-        assert dev.stats.host_bytes_written - before == 5
+        # The append ships the payload and its 8-byte OOB CRC slot —
+        # both cross the bus, both wear the page.
+        assert dev.stats.host_bytes_written - before == 5 + ECC_SLOT_SIZE
+
+    def test_oversized_delta_refused(self):
+        # m_bytes = 4: a delta-record can hold at most
+        # 1 + PAIR_SIZE * m_bytes + DELTA_METADATA_SIZE payload bytes.
+        dev = make_device()
+        dev.create_region("hot", blocks=16, ipa=IPA_2x4)
+        dev.write_page(0, image(b"body"))
+        cap = 1 + PAIR_SIZE * IPA_2x4.m_bytes + DELTA_METADATA_SIZE
+        assert dev.write_delta(0, 100, b"x" * cap) is True
+        assert dev.write_delta(0, 150, b"x" * (cap + 1)) is False
+        # The refusal consumed no append slot and wrote nothing.
+        assert dev.stats.host_delta_writes == 1
+        assert dev.write_delta(0, 150, b"ok") is True
 
     def test_delta_on_non_ipa_region_refused(self):
         dev = make_device()

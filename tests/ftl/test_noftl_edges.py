@@ -16,14 +16,15 @@ def make_device():
 
 class TestRegionLimits:
     def test_oob_cannot_hold_oversized_n(self):
-        # 64 B OOB holds 1 + 7 ECC slots of 8 B: N = 8 overflows.
+        # 64 B OOB minus the 17 B mapping record at its tail leaves room
+        # for 1 + 4 ECC slots of 8 B: N = 5 overflows.
         device = make_device()
         with pytest.raises(OobOverflowError):
-            device.create_region("big", blocks=16, ipa=IpaRegionConfig(8, 4))
+            device.create_region("big", blocks=16, ipa=IpaRegionConfig(5, 4))
 
     def test_n_within_oob_ok(self):
         device = make_device()
-        device.create_region("ok", blocks=16, ipa=IpaRegionConfig(7, 4))
+        device.create_region("ok", blocks=16, ipa=IpaRegionConfig(4, 4))
 
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
