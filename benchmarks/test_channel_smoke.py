@@ -1,0 +1,65 @@
+"""Multi-channel smoke: overlap must actually buy simulated time.
+
+Unlike the wall-clock benchmarks, the measured quantity here is the
+*simulated* clock: the same spread write/erase pattern through a
+1-channel (pass-through) and a 4-channel (overlapped) device.  CI runs
+this as the cheap regression gate on the channel scheduler — if overlap
+stops overlapping (or the pass-through stops matching the media of the
+parallel path), this fails long before the full E11 bench notices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flash.device import FlashDevice
+from repro.flash.geometry import FlashGeometry
+
+GEO = FlashGeometry(page_size=2048, oob_size=64, pages_per_block=16, blocks=32)
+
+N_OPS = 2000
+
+
+def spread_writes(dev, seed=0xC0FFEE):
+    """Programs striped across all blocks, with periodic erases."""
+    rng = np.random.default_rng(seed)
+    usable = dev.usable_pages_in_block()
+    ppb = dev.geometry.pages_per_block
+    cursor = {b: 0 for b in range(dev.geometry.blocks)}
+    payload = bytes(range(256)) * (GEO.page_size // 256)
+    for i in range(N_OPS):
+        block = int(rng.integers(0, dev.geometry.blocks))
+        if cursor[block] >= len(usable):
+            dev.erase_block(block)
+            cursor[block] = 0
+        dev.program_page(block * ppb + usable[cursor[block]], payload)
+        cursor[block] += 1
+    return dev.clock.now_us
+
+
+@pytest.fixture
+def single():
+    return FlashDevice(GEO, channels=1)
+
+
+@pytest.fixture
+def quad():
+    return FlashDevice(GEO, channels=4)
+
+
+def test_four_channels_cut_simulated_time(once, single, quad):
+    t1 = spread_writes(single)
+    t4 = once(spread_writes, quad)
+    # The shared bus stays serial, so four channels cannot reach 4x on
+    # a bus-heavy pattern; observed ~1.9x.  Gate at 1.67x with margin.
+    assert t4 < 0.6 * t1, f"4ch {t4:.0f}us vs 1ch {t1:.0f}us"
+    # Latency-only change: both devices hold identical global media.
+    for b in range(GEO.blocks):
+        for p1, p4 in zip(single.blocks[b].pages, quad.blocks[b].pages):
+            assert p1.raw_data() == p4.raw_data()
+
+
+def test_channels_stay_balanced(quad):
+    spread_writes(quad)
+    stats = quad.channel_stats()
+    ops = [s["ops"] for s in stats]
+    assert min(ops) > 0.5 * max(ops), f"imbalanced channels: {ops}"

@@ -20,6 +20,7 @@ from repro.baselines.ipl import IplConfig, IplPolicy, IplStore
 from repro.core.config import IPA_DISABLED, IpaScheme
 from repro.engine.database import Database
 from repro.flash.chip import FlashChip
+from repro.flash.device import FlashDevice
 from repro.flash.geometry import FlashGeometry, scaled_jasmine
 from repro.flash.modes import FlashMode
 from repro.flash.stats import DeviceStats, FlashStats
@@ -68,6 +69,14 @@ class ExperimentConfig:
             (odd-MLC optimization: more data lands on appendable pages).
         with_wal: Attach a write-ahead log on a dedicated log chip
             sharing the simulated clock (commit latency becomes real).
+        channels: Flash channels.  1 (default) drives a single
+            :class:`FlashChip`; >1 builds a :class:`FlashDevice` that
+            stripes blocks across that many chips and overlaps array
+            latencies per channel (see ``docs/parallelism.md``).  IPL is
+            single-chip only.
+        background_gc: Run garbage collection incrementally in the
+            background (budgeted migrations per foreground write)
+            instead of synchronously inside the eviction path.
         seed: Workload RNG seed (deterministic runs).
         label: Optional display label for reports.
     """
@@ -85,6 +94,8 @@ class ExperimentConfig:
     over_provisioning: float = 0.15
     lsb_first: bool = False
     with_wal: bool = False
+    channels: int = 1
+    background_gc: bool = False
     seed: int = 42
     label: str = ""
 
@@ -98,6 +109,13 @@ class ExperimentConfig:
             raise ValueError("IPA architectures need an enabled N x M scheme")
         if self.architecture == "ipl" and self.mode is not FlashMode.SLC:
             raise ValueError("IPL runs on SLC (its log sectors need appends)")
+        if self.channels < 1:
+            raise ValueError("channels must be >= 1")
+        if self.architecture == "ipl" and self.channels > 1:
+            raise ValueError(
+                "IPL drives the chip's log sectors directly and is "
+                "single-chip only"
+            )
 
     def display_label(self) -> str:
         if self.label:
@@ -186,6 +204,9 @@ def _auto_geometry(config: ExperimentConfig) -> FlashGeometry:
             target_logical / ((1.0 - config.over_provisioning) * usable_per_block)
         ) + 2
     blocks = max(blocks, 8)
+    if config.channels > 1 and blocks % config.channels:
+        # Round up so the blocks stripe evenly over the channels.
+        blocks += config.channels - blocks % config.channels
     return FlashGeometry(
         page_size=config.page_size,
         oob_size=128,
@@ -199,18 +220,33 @@ def build_stack(
 ) -> tuple[Database, StorageManager]:
     """Construct device + manager + database for a config (no load)."""
     geometry = config.geometry or _auto_geometry(config)
-    chip = FlashChip(geometry, mode=config.mode)
+    if config.channels > 1:
+        chip = FlashDevice(geometry, channels=config.channels, mode=config.mode)
+    else:
+        chip = FlashChip(geometry, mode=config.mode)
     policy: WritePolicy
     scheme = config.scheme
     if config.architecture == "traditional":
-        device = PageMappingFtl(chip, over_provisioning=config.over_provisioning)
+        device = PageMappingFtl(
+            chip,
+            over_provisioning=config.over_provisioning,
+            background_gc=config.background_gc,
+        )
         policy = TraditionalPolicy()
         scheme = IPA_DISABLED
     elif config.architecture == "ipa-blockdev":
-        device = IpaFtl(chip, over_provisioning=config.over_provisioning)
+        device = IpaFtl(
+            chip,
+            over_provisioning=config.over_provisioning,
+            background_gc=config.background_gc,
+        )
         policy = IpaBlockDevicePolicy()
     elif config.architecture == "ipa-native":
-        noftl = NoFtlDevice(chip, over_provisioning=config.over_provisioning)
+        noftl = NoFtlDevice(
+            chip,
+            over_provisioning=config.over_provisioning,
+            background_gc=config.background_gc,
+        )
         noftl.create_region(
             "db",
             blocks=geometry.blocks,
@@ -265,6 +301,12 @@ def run_experiment(
     # Benchmark phase: counters and clock cover only what follows.
     # ------------------------------------------------------------------ #
     manager.clock.reset()
+    # A multi-channel device schedules against the clock just reset:
+    # stale in-flight end times would read as a huge future backlog and
+    # charge the first measured transactions for load-phase array work.
+    quiesce = getattr(manager.device.chip, "quiesce", None)
+    if quiesce is not None:
+        quiesce()
     obs: Optional[Observation] = None
     if observe:
         obs_config = observe if isinstance(observe, ObserveConfig) else None

@@ -38,6 +38,7 @@ from repro.engine.schema import Column, ColumnType, Schema
 from repro.engine.wal import WriteAheadLog, recover
 from repro.fault.injector import FaultInjector, PowerLossError
 from repro.flash.chip import FlashChip
+from repro.flash.device import FlashDevice
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.ipa_ftl import IpaFtl
 from repro.ftl.noftl import IpaRegionConfig, NoFtlDevice
@@ -78,13 +79,32 @@ BACKENDS = ("noftl-ipa", "noftl-plain", "ipa-ftl", "page-mapping")
 
 @dataclass(frozen=True)
 class FaultBackend:
-    """How to build (and rebuild) one storage architecture."""
+    """How to build (and rebuild) one storage architecture.
+
+    Attributes:
+        name: One of :data:`BACKENDS`.
+        channels: Data-device channels; >1 builds a
+            :class:`~repro.flash.device.FlashDevice` whose in-flight
+            per-channel ops must be torn at power loss.
+        background_gc: Run the incremental background collector, so
+            crashes also land between budgeted GC steps.
+    """
 
     name: str
+    channels: int = 1
+    background_gc: bool = False
+
+    def make_data_device(self):
+        """The data chip (or multi-channel device) for a fresh stack."""
+        if self.channels > 1:
+            return FlashDevice(DATA_GEO, channels=self.channels)
+        return FlashChip(DATA_GEO)
 
     def make_manager(self, chip: FlashChip) -> StorageManager:
         if self.name == "noftl-ipa":
-            device = NoFtlDevice(chip, over_provisioning=0.2)
+            device = NoFtlDevice(
+                chip, over_provisioning=0.2, background_gc=self.background_gc
+            )
             device.create_region(
                 "t", blocks=DATA_GEO.blocks, ipa=IpaRegionConfig(2, 4)
             )
@@ -92,18 +112,24 @@ class FaultBackend:
                 device, SCHEME_2X4, IpaNativePolicy(), buffer_capacity=4
             )
         if self.name == "noftl-plain":
-            device = NoFtlDevice(chip, over_provisioning=0.2)
+            device = NoFtlDevice(
+                chip, over_provisioning=0.2, background_gc=self.background_gc
+            )
             device.create_region("t", blocks=DATA_GEO.blocks, ipa=None)
             return StorageManager(
                 device, IPA_DISABLED, TraditionalPolicy(), buffer_capacity=4
             )
         if self.name == "ipa-ftl":
-            device = IpaFtl(chip, over_provisioning=0.2)
+            device = IpaFtl(
+                chip, over_provisioning=0.2, background_gc=self.background_gc
+            )
             return StorageManager(
                 device, SCHEME_2X4, IpaBlockDevicePolicy(), buffer_capacity=4
             )
         if self.name == "page-mapping":
-            device = PageMappingFtl(chip, over_provisioning=0.2)
+            device = PageMappingFtl(
+                chip, over_provisioning=0.2, background_gc=self.background_gc
+            )
             return StorageManager(
                 device, IPA_DISABLED, TraditionalPolicy(), buffer_capacity=4
             )
@@ -133,7 +159,7 @@ def shadow_state(plan: list[tuple[int, int]], n_txns: int) -> dict[int, int]:
 
 def _build_stack(backend: FaultBackend):
     """Fresh chips + stack, with the setup phase run and checkpointed."""
-    data_chip = FlashChip(DATA_GEO)
+    data_chip = backend.make_data_device()
     manager = backend.make_manager(data_chip)
     wal_chip = FlashChip(WAL_GEO, clock=manager.clock)
     manager.wal = WriteAheadLog(wal_chip)
@@ -220,6 +246,12 @@ def run_crash_point(
         # returned; the per-type counter is incremented after the WAL
         # flush, so a crash inside commit leaves it untouched.
         completed = db.txn_stats.by_type.get("bump", 0)
+        # Multi-channel device: array ops still in flight on their
+        # channels at the crash instant did not finish either — revert
+        # them (the one executing per channel is torn at a seeded cut).
+        power_loss = getattr(data_chip, "power_loss", None)
+        if power_loss is not None:
+            power_loss()
     finally:
         FaultInjector.detach(data_chip, wal_chip)
 
@@ -282,22 +314,28 @@ class SweepResult:
 
 
 def run_sweep(
-    backend_name: str, n_points: int, seed: int = 0xFA117
+    backend_name: "str | FaultBackend", n_points: int, seed: int = 0xFA117
 ) -> SweepResult:
     """Seeded random crash-point sweep over one backend.
 
+    ``backend_name`` may be a plain backend name or a configured
+    :class:`FaultBackend` (multi-channel / background-GC variants).
     Every sampled point gets a distinct tear-cut seed derived from the
     sweep seed, so a reported failure is replayable from
     ``(backend, crash_point, seed)`` alone.
     """
-    backend = FaultBackend(backend_name)
+    backend = (
+        backend_name
+        if isinstance(backend_name, FaultBackend)
+        else FaultBackend(backend_name)
+    )
     ops_total, _oracle_state = run_oracle(backend)
     rng = random.Random(seed)
     if n_points >= ops_total:
         points = list(range(1, ops_total + 1))
     else:
         points = sorted(rng.sample(range(1, ops_total + 1), n_points))
-    result = SweepResult(backend=backend_name, ops_total=ops_total)
+    result = SweepResult(backend=backend.name, ops_total=ops_total)
     for point in points:
         outcome = run_crash_point(backend, point, seed=seed ^ point)
         result.points += 1

@@ -128,6 +128,25 @@ class FaultInjector:
         raise PowerLossError(f"power loss: {self.crash_op}")
 
     # ------------------------------------------------------------------ #
+    # Device hooks (multi-channel in-flight tearing)
+    # ------------------------------------------------------------------ #
+
+    def inflight_cut(self, total: int) -> int:
+        """Seeded byte cut for an op in flight on a channel at power loss.
+
+        Called by ``FlashDevice.power_loss()`` when tearing the operation
+        that was *executing* on a channel when the injector tripped
+        (possibly on a different chip).  Draws from the same RNG as the
+        direct tear hooks, so sweeps stay replayable per
+        ``(crash_after_ops, seed)``.
+        """
+        return self._rng.randrange(total + 1)
+
+    def inflight_erase_coin(self) -> bool:
+        """Seeded coin: did an in-flight erase pulse complete before loss?"""
+        return self._rng.random() < 0.5
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 

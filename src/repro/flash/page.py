@@ -263,6 +263,35 @@ class PhysicalPage:
             take = min(rem, len(oob_payload))
             self._oob[oob_offset : oob_offset + take] = oob_payload[:take]
 
+    def snapshot_image(self) -> tuple:
+        """Full pre-image of the page (fault injection only).
+
+        Captured by the multi-channel device before issuing an array op
+        so a later :meth:`restore_image` can revert the op if power is
+        lost while it is still in flight on its channel.  Copies both
+        cell arrays plus the state/disturb bookkeeping.
+        """
+        return (
+            bytes(self._data),
+            bytes(self._oob),
+            self.state,
+            self.program_passes,
+            self._disturb.copy(),
+            self._disturb_total,
+            self._disturb_worst,
+        )
+
+    def restore_image(self, snap: tuple) -> None:
+        """Revert the page to a :meth:`snapshot_image` pre-image."""
+        (data, oob, state, passes, disturb, total, worst) = snap
+        self._data[:] = data
+        self._oob[:] = oob
+        self.state = state
+        self.program_passes = passes
+        self._disturb[:] = disturb
+        self._disturb_total = total
+        self._disturb_worst = worst
+
     def raw_data(self) -> bytes:
         """Pristine data image, bypassing the ECC check (for legality tests)."""
         return bytes(self._data)

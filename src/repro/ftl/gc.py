@@ -44,6 +44,22 @@ class BlockManager:
             neutral under *uniform* access — the latest writes then sit
             on MSB pages, cancelling the residency gain — so this knob
             matters only for workloads with placement-aware callers.
+        background_gc: Move reclamation off the eviction hot path: every
+            foreground allocation performs at most ``gc_migration_budget``
+            incremental page migrations (watermark-driven) instead of
+            reclaiming whole blocks synchronously, so no single host
+            write absorbs an entire victim's migrations + erase.  The
+            synchronous path remains as an emergency fallback when the
+            budgeted collector cannot keep up, so correctness never
+            depends on the budget.
+        gc_migration_budget: Page migrations allowed per foreground
+            allocation while the free pool is below the low watermark.
+        gc_low_watermark: Free-block level that wakes the background
+            collector.  Must exceed ``gc_spare_blocks`` (the emergency
+            threshold); default ``gc_spare_blocks + 2`` — the collector
+            starts early enough to amortize a whole victim's migrations
+            across many foreground writes before the pool hits the
+            synchronous threshold.
     """
 
     #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
@@ -59,11 +75,23 @@ class BlockManager:
         wear_leveling_gap: int | None = None,
         logical_cap: int | None = None,
         lsb_first: bool = False,
+        background_gc: bool = False,
+        gc_migration_budget: int = 8,
+        gc_low_watermark: int | None = None,
     ) -> None:
         if not 0.0 < over_provisioning < 1.0:
             raise ValueError("over_provisioning must be in (0, 1)")
         if gc_spare_blocks < 1:
             raise ValueError("gc_spare_blocks must be >= 1")
+        if gc_migration_budget < 1:
+            raise ValueError("gc_migration_budget must be >= 1")
+        if gc_low_watermark is None:
+            gc_low_watermark = gc_spare_blocks + 2
+        if gc_low_watermark <= gc_spare_blocks:
+            raise ValueError(
+                "gc_low_watermark must exceed gc_spare_blocks "
+                "(the emergency threshold)"
+            )
         if len(block_ids) <= gc_spare_blocks + 1:
             raise ValueError(
                 f"need more than {gc_spare_blocks + 1} blocks, got {len(block_ids)}"
@@ -82,6 +110,25 @@ class BlockManager:
         self.block_ids = list(block_ids)
         self.gc_spare_blocks = gc_spare_blocks
         self.wear_leveling_gap = wear_leveling_gap
+        self.background_gc = background_gc
+        self.gc_migration_budget = gc_migration_budget
+        self.gc_low_watermark = gc_low_watermark
+        #: Victim currently being reclaimed incrementally (+ scan cursor
+        #: into ``_usable_offsets``).  Lives across foreground ops.
+        self._bg_victim: int | None = None
+        self._bg_cursor = 0
+        self._m_bg_migrations = stats.metrics.counter(
+            "background_gc_migrations",
+            help="page migrations done by the incremental collector",
+        )
+        self._m_bg_erases = stats.metrics.counter(
+            "background_gc_erases",
+            help="victim erases completed by the incremental collector",
+        )
+        self._m_gc_emergency = stats.metrics.counter(
+            "gc_emergency_syncs",
+            help="foreground ops that fell back to synchronous GC",
+        )
         self._usable_offsets = chip.usable_pages_in_block()
         if lsb_first:
             self._usable_offsets = sorted(
@@ -241,6 +288,8 @@ class BlockManager:
         self._active = None
         self._cursor = 0
         self._seq = max_seq + 1
+        self._bg_victim = None
+        self._bg_cursor = 0
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -277,9 +326,72 @@ class BlockManager:
 
     def _allocate(self) -> int:
         """Next erased ppn for a host write; may trigger GC first."""
-        if len(self._free) <= self.gc_spare_blocks:
+        if self.background_gc:
+            self._background_step()
+            if len(self._free) <= self.gc_spare_blocks:
+                # The budgeted collector fell behind the write rate:
+                # finish the open victim and reclaim synchronously so
+                # correctness never depends on the budget.
+                self._m_gc_emergency.inc()
+                self._finish_bg_victim()
+                if len(self._free) <= self.gc_spare_blocks:
+                    self._collect()
+        elif len(self._free) <= self.gc_spare_blocks:
             self._collect()
         return self._allocate_no_gc()
+
+    def _background_step(self) -> None:
+        """Budgeted incremental reclamation, run before each allocation.
+
+        While the free pool sits at or below the low watermark, migrates
+        up to ``gc_migration_budget`` valid pages off the current victim
+        (picking a new victim greedily when none is open) and erases the
+        victim once it is fully migrated.  State persists across calls,
+        so a victim's cost is spread over many foreground operations —
+        and, on a multi-channel device, its erase pulse overlaps with
+        foreground traffic on other channels.
+        """
+        budget = self.gc_migration_budget
+        offsets = self._usable_offsets
+        while budget > 0:
+            if self._bg_victim is None:
+                if len(self._free) > self.gc_low_watermark:
+                    return
+                victim = self._pick_victim()
+                if victim is None:
+                    return  # nothing reclaimable; emergency path decides
+                self._bg_victim = victim
+                self._bg_cursor = 0
+            victim = self._bg_victim
+            while budget > 0 and self._bg_cursor < len(offsets):
+                page_offset = offsets[self._bg_cursor]
+                self._bg_cursor += 1
+                if self._migrate_page(victim, page_offset):
+                    budget -= 1
+                    self._m_bg_migrations.inc()
+            if self._bg_cursor < len(offsets):
+                return  # budget exhausted mid-victim; resume next op
+            self._finish_bg_victim()
+
+    def _finish_bg_victim(self) -> None:
+        """Drain and erase the open background victim (if any)."""
+        victim = self._bg_victim
+        if victim is None:
+            return
+        offsets = self._usable_offsets
+        while self._bg_cursor < len(offsets):
+            page_offset = offsets[self._bg_cursor]
+            self._bg_cursor += 1
+            if self._migrate_page(victim, page_offset):
+                self._m_bg_migrations.inc()
+        self._bg_victim = None
+        self._bg_cursor = 0
+        tr = self.tracer
+        if not tr.enabled:
+            self._erase_victim(victim, None, background=True)
+            return
+        with tr.span("gc_erase", victim=victim, background=True) as span:
+            self._erase_victim(victim, span, background=True)
 
     def _allocate_no_gc(self) -> int:
         """Next erased ppn in the active block (never recurses into GC).
@@ -375,25 +487,42 @@ class BlockManager:
             self._reclaim_inner(victim, span)
 
     def _reclaim_inner(self, victim: int, span) -> None:
-        geometry = self.chip.geometry
         migrated = 0
         for page_offset in self._usable_offsets:
-            ppn = geometry.make_ppn(victim, page_offset)
-            lba = self._rmap.get(ppn)
-            if lba is None:
-                continue
-            data, oob = self.chip.read_page_with_oob(ppn)
-            new_ppn = self._allocate_no_gc()
-            self.chip.program_page(new_ppn, data, oob)
-            appends = self.appends_done.pop(ppn, 0)
-            self.appends_done[new_ppn] = appends
-            del self._rmap[ppn]
-            self._valid[victim] -= 1
-            self._map(lba, new_ppn)
-            self.stats.gc_page_migrations += 1
-            migrated += 1
+            if self._migrate_page(victim, page_offset):
+                migrated += 1
         if span is not None:
             span.set(migrated=migrated)
+        self._erase_victim(victim, span)
+
+    def _migrate_page(self, victim: int, page_offset: int) -> bool:
+        """Move one valid page off the victim; True if a copy happened.
+
+        Shared by the synchronous reclaim and the incremental background
+        collector.  The copied OOB carries the original mapping record
+        (same LBA, same sequence number), so a crash between copy and
+        erase leaves two byte-identical candidates — either one is a
+        correct remount choice.
+        """
+        ppn = self.chip.geometry.make_ppn(victim, page_offset)
+        lba = self._rmap.get(ppn)
+        if lba is None:
+            return False
+        data, oob = self.chip.read_page_with_oob(ppn)
+        new_ppn = self._allocate_no_gc()
+        self.chip.program_page(new_ppn, data, oob)
+        appends = self.appends_done.pop(ppn, 0)
+        self.appends_done[new_ppn] = appends
+        del self._rmap[ppn]
+        self._valid[victim] -= 1
+        self._map(lba, new_ppn)
+        self.stats.gc_page_migrations += 1
+        return True
+
+    def _erase_victim(
+        self, victim: int, span, background: bool = False
+    ) -> None:
+        """Erase a fully-migrated victim and return it to the free pool."""
         try:
             self.chip.erase_block(victim)
         except BadBlockError:
@@ -402,6 +531,8 @@ class BlockManager:
             self._retire(victim)
             return
         self.stats.gc_erases += 1
+        if background:
+            self._m_bg_erases.inc()
         self._free.append(victim)
 
     def _retire(self, block_id: int) -> None:

@@ -40,6 +40,8 @@ class IpaFtl:
         chip: FlashChip,
         over_provisioning: float = 0.10,
         gc_spare_blocks: int = 2,
+        background_gc: bool = False,
+        gc_migration_budget: int = 8,
     ) -> None:
         self.chip = chip
         self.stats = DeviceStats()
@@ -49,6 +51,8 @@ class IpaFtl:
             self.stats,
             over_provisioning=over_provisioning,
             gc_spare_blocks=gc_spare_blocks,
+            background_gc=background_gc,
+            gc_migration_budget=gc_migration_budget,
         )
 
     @property

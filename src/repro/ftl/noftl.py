@@ -71,6 +71,8 @@ class Region:
         gc_spare_blocks: int,
         logical_pages: int | None = None,
         lsb_first: bool = False,
+        background_gc: bool = False,
+        gc_migration_budget: int = 8,
     ) -> None:
         self.name = name
         self.chip = chip
@@ -86,6 +88,8 @@ class Region:
             gc_spare_blocks=gc_spare_blocks,
             logical_cap=logical_pages,
             lsb_first=lsb_first,
+            background_gc=background_gc,
+            gc_migration_budget=gc_migration_budget,
         )
         self._oob_layout = (
             OobLayout(chip.geometry.oob_size, ipa.n_records) if ipa else None
@@ -250,11 +254,15 @@ class NoFtlDevice:
         chip: FlashChip,
         over_provisioning: float = 0.10,
         gc_spare_blocks: int = 2,
+        background_gc: bool = False,
+        gc_migration_budget: int = 8,
     ) -> None:
         self.chip = chip
         self.regions: list[Region] = []
         self._over_provisioning = over_provisioning
         self._gc_spare_blocks = gc_spare_blocks
+        self._background_gc = background_gc
+        self._gc_migration_budget = gc_migration_budget
         self._next_block = 0
 
     @property
@@ -367,6 +375,8 @@ class NoFtlDevice:
             self._gc_spare_blocks,
             logical_pages=logical_pages,
             lsb_first=lsb_first,
+            background_gc=self._background_gc,
+            gc_migration_budget=self._gc_migration_budget,
         )
         self.regions.append(region)
         return region

@@ -33,6 +33,8 @@ class PageMappingFtl:
         over_provisioning: float = 0.10,
         gc_spare_blocks: int = 2,
         wear_leveling_gap: int | None = None,
+        background_gc: bool = False,
+        gc_migration_budget: int = 8,
     ) -> None:
         self.chip = chip
         self.stats = DeviceStats()
@@ -43,6 +45,8 @@ class PageMappingFtl:
             over_provisioning=over_provisioning,
             gc_spare_blocks=gc_spare_blocks,
             wear_leveling_gap=wear_leveling_gap,
+            background_gc=background_gc,
+            gc_migration_budget=gc_migration_budget,
         )
 
     @property

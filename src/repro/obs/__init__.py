@@ -103,6 +103,10 @@ def attach_tracer(manager, tracer) -> None:
     chip = getattr(device, "chip", None)
     if chip is not None:
         chip.tracer = tracer
+        # Multi-channel FlashDevice: forward to the chips behind the
+        # channels (and the device records channel_wait events itself).
+        for inner in getattr(chip, "chips", ()):
+            inner.tracer = tracer
     blocks = getattr(device, "_blocks", None)  # PageMappingFtl / IpaFtl
     if blocks is not None and hasattr(type(blocks), "tracer"):
         blocks.tracer = tracer  # IplStore's _blocks is a plain list; skip
@@ -183,13 +187,35 @@ class Observation:
         _register_stats_views(registry, lambda: chip.stats, "flash_")
         _register_stats_views(registry, lambda: manager.stats, "manager_")
         _register_stats_views(registry, lambda: manager.pool.stats, "buffer_")
-        for category in ("read", "program", "erase", "bus", "host", "other"):
+        for category in (
+            "read", "program", "erase", "bus", "host", "channel_wait", "other"
+        ):
             registry.register_callback(
                 f"clock_{category}_us",
                 (lambda c=category, clk=manager.clock: clk.breakdown_us.get(c, 0.0)),
                 help=f"simulated time spent in {category}",
                 kind="counter",
             )
+        if hasattr(chip, "channel_stats"):  # multi-channel FlashDevice
+            for index in range(chip.channels):
+                registry.register_callback(
+                    f"channel{index}_queue_depth",
+                    (lambda d=chip, i=index: d.queue_depth_of(i)),
+                    help=f"in-flight array ops on channel {index}",
+                    kind="gauge",
+                )
+                registry.register_callback(
+                    f"channel{index}_busy_us",
+                    (lambda d=chip, i=index: d.channel_stats()[i]["busy_us"]),
+                    help=f"array time scheduled on channel {index}",
+                    kind="counter",
+                )
+                registry.register_callback(
+                    f"channel{index}_wait_us",
+                    (lambda d=chip, i=index: d.channel_stats()[i]["wait_us"]),
+                    help=f"host stalls waiting on channel {index}",
+                    kind="counter",
+                )
         regions = getattr(device, "regions", None)
         if regions:
             # NoFtlDevice.stats is a computed aggregate; the live extra
@@ -211,6 +237,15 @@ class Observation:
                 / max(device.stats.host_bytes_written, 1)
             ),
         }
+        if hasattr(chip, "channel_stats"):
+            collectors["max_queue_depth"] = lambda: max(
+                chip.queue_depth_of(i) for i in range(chip.channels)
+            )
+            collectors["channel_wait_us"] = (
+                lambda clk=manager.clock: clk.breakdown_us.get(
+                    "channel_wait", 0.0
+                )
+            )
         if db is not None:
             collectors["txns"] = lambda: db.txn_stats.committed
         sampler = TimeSeriesSampler(

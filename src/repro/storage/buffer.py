@@ -119,10 +119,17 @@ class BufferPool:
         #: WAL is attached): a predicate marking frames that *prefer* not
         #: to be evicted — pages dirtied by a transaction that has not
         #: committed yet.  Vetoed frames are passed over while any other
-        #: unpinned frame exists; if every evictable frame is vetoed the
-        #: pool steals one anyway (redo-only logging tolerates it for
-        #: crash-free runs, and tiny pools must not deadlock).
+        #: unpinned frame exists.
         self.evict_veto: Optional[Callable[[Frame], bool]] = None
+        #: Escape hatch for the all-evictable-frames-vetoed corner: a
+        #: callback that releases vetoes (the storage manager forces a
+        #: WAL flush, making the open transaction's records durable) and
+        #: returns True when it freed anything.  The pool then re-picks —
+        #: the no-longer-vetoed victim can now be evicted *legally*.
+        #: Without the hook (or when it returns False) the pool steals a
+        #: vetoed frame as before (redo-only logging tolerates it for
+        #: crash-free runs, and tiny pools must not deadlock).
+        self.veto_overflow: Optional[Callable[[], bool]] = None
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -155,18 +162,35 @@ class BufferPool:
         self._referenced[frame.lba] = False
 
     def _pick_victim(self) -> Frame:
+        victim, fallback = self._scan_victim()
+        if victim is not None:
+            return victim
+        if fallback is not None:
+            # Every evictable frame is vetoed (an open transaction has
+            # dirtied the whole pool).  Ask the manager to release the
+            # vetoes — it forces a WAL flush so the open transaction's
+            # records are durable — then re-scan: the same frames are
+            # now legal victims and nothing gets stolen undurable.
+            if self.veto_overflow is not None and self.veto_overflow():
+                victim, fallback = self._scan_victim()
+                if victim is not None:
+                    return victim
+            if fallback is not None:
+                return fallback  # hook absent or ineffective: steal
+        raise BufferPoolFullError("all frames pinned")
+
+    def _scan_victim(self) -> tuple[Optional[Frame], Optional[Frame]]:
+        """(victim, vetoed-fallback) per the replacement policy."""
         veto = self.evict_veto
         if self.replacement == "lru":
             fallback = None
             for frame in self._frames.values():
                 if frame.pin_count == 0:
                     if veto is None or not veto(frame):
-                        return frame
+                        return frame, fallback
                     if fallback is None:
                         fallback = frame
-            if fallback is not None:
-                return fallback  # every evictable frame vetoed: steal
-            raise BufferPoolFullError("all frames pinned")
+            return None, fallback
         # CLOCK: sweep, granting one second chance per referenced frame.
         order = list(self._frames.values())
         sweeps = 0
@@ -184,10 +208,8 @@ class BufferPool:
                 if fallback is None:
                     fallback = frame
                 continue
-            return frame
-        if fallback is not None:
-            return fallback  # every evictable frame vetoed: steal
-        raise BufferPoolFullError("all frames pinned")
+            return frame, fallback
+        return None, fallback
 
     def _evict_one(self) -> None:
         victim = self._pick_victim()

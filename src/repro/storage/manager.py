@@ -49,6 +49,9 @@ class ManagerStats:
     ipa_fallbacks: int = 0  # device refused an append mid-flush
     update_ops: int = 0
     net_bytes_updated: int = 0
+    #: WAL flushes forced because an open transaction had dirtied every
+    #: evictable frame (the pool's veto_overflow hook fired).
+    forced_wal_flushes: int = 0
     #: Pages whose checksum only verified after dropping a torn trailing
     #: delta-record (post-crash fetches; see _load_page).
     torn_repairs: int = 0
@@ -264,6 +267,7 @@ class StorageManager:
         #: the redo-only log knows nothing about.
         self._txn_locked_lbas: set[int] = set()
         self.pool.evict_veto = self._evict_veto
+        self.pool.veto_overflow = self._veto_overflow
 
     @property
     def page_size(self) -> int:
@@ -406,6 +410,26 @@ class StorageManager:
 
     def _evict_veto(self, frame: Frame) -> bool:
         return frame.lba in self._txn_locked_lbas
+
+    def _veto_overflow(self) -> bool:
+        """Release the no-steal set by forcing an early group commit.
+
+        Fires when the open transaction has dirtied every evictable
+        frame of the pool: rather than stealing an undurable page (the
+        pre-hook behavior, which a crash could turn into uncommitted
+        bytes the redo-only log knows nothing about), make the buffered
+        records durable now.  This trades a sliver of atomicity for
+        progress — the prefix of the over-large transaction becomes a
+        durable frame of its own, exactly what a redo-only engine
+        without undo must do when a transaction outgrows the pool
+        (steal would need undo logging we deliberately do not have).
+        """
+        if self.wal is None or not self._txn_locked_lbas:
+            return False
+        self.wal.commit()
+        self._txn_locked_lbas.clear()
+        self.stats.forced_wal_flushes += 1
+        return True
 
     def _load_page(self, image: bytes, lba: int) -> tuple[SlottedPage, int]:
         """Reconstruct + checksum-verify, repairing a torn delta tail.

@@ -49,15 +49,54 @@ class Workload(abc.ABC):
 
 def nurand(rng: np.random.Generator, a: int, x: int, y: int) -> int:
     """TPC-C NURand(A, x, y) non-uniform random (C = 0)."""
+    if y < x:
+        raise ValueError(f"empty NURand range [{x}, {y}]")
+    if a < 0:
+        raise ValueError(f"NURand A must be >= 0, got {a}")
     return (
         (int(rng.integers(0, a + 1)) | int(rng.integers(x, y + 1)))
         % (y - x + 1)
     ) + x
 
 
+#: Normalized Zipf CDFs keyed by (n, theta).  Workloads draw from the
+#: same handful of distributions millions of times per run; building
+#: the O(n) rank table once per (n, theta) keeps the per-draw cost at
+#: one uniform variate plus a binary search.
+_ZIPF_CDF_CACHE: dict[tuple[int, float], np.ndarray] = {}
+
+
+def _zipf_cdf(n: int, theta: float) -> np.ndarray:
+    key = (n, theta)
+    cdf = _ZIPF_CDF_CACHE.get(key)
+    if cdf is None:
+        weights = np.arange(1, n + 1, dtype=np.float64) ** -theta
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        cdf[-1] = 1.0  # guard fp round-down so a draw of ~1.0 maps in-range
+        _ZIPF_CDF_CACHE[key] = cdf
+    return cdf
+
+
 def zipf_index(rng: np.random.Generator, n: int, theta: float = 1.2) -> int:
-    """Zipf-ish index in [0, n): bounded draw for skewed access."""
-    while True:
-        draw = int(rng.zipf(theta))
-        if draw <= n:
-            return draw - 1
+    """Zipf index in [0, n): rank r drawn with probability ∝ (r+1)^-theta.
+
+    Inverse-CDF sampling over an explicit rank table, replacing the old
+    rejection loop around ``rng.zipf``:
+
+    * ``theta`` may be any value >= 0 — ``theta == 0`` is exactly
+      uniform, values in (0, 1] are mild skew.  (``rng.zipf`` requires
+      theta > 1, so those used to raise; and near 1 the rejection loop
+      against an unbounded support degenerated to thousands of retries
+      per draw for small ``n``.)
+    * ``n == 1`` returns 0 immediately instead of spinning until the
+      heavy-tailed sampler happens to emit a 1.
+    """
+    if n <= 0:
+        raise ValueError(f"zipf_index needs n >= 1, got {n}")
+    if theta < 0:
+        raise ValueError(f"zipf_index needs theta >= 0, got {theta}")
+    if n == 1:
+        return 0
+    cdf = _zipf_cdf(n, theta)
+    return min(int(np.searchsorted(cdf, rng.random(), side="right")), n - 1)

@@ -102,13 +102,21 @@ class TestLongevity:
         assert est.txns_per_block_lifetime == pytest.approx(300_000)
 
     def test_no_erases_is_infinite(self):
-        est = estimate_longevity(result_stub(gc_erases=0))
+        # Wear basis is *total* flash erases; GC attribution is
+        # irrelevant to endurance (see repro.analysis.longevity).
+        est = estimate_longevity(result_stub(flash_erases=0, gc_erases=0))
         assert est.txns_per_block_lifetime == float("inf")
 
     def test_lifetime_ratio_doubles_with_half_erases(self):
-        base = result_stub(gc_erases=20)
-        ipa = result_stub(gc_erases=10)
+        base = result_stub(flash_erases=20)
+        ipa = result_stub(flash_erases=10)
         assert lifetime_ratio(ipa, base) == pytest.approx(2.0)
+
+    def test_gc_attribution_does_not_affect_wear(self):
+        # Same total erases, different GC attribution: same lifetime.
+        a = result_stub(flash_erases=10, gc_erases=10)
+        b = result_stub(flash_erases=10, gc_erases=0)
+        assert lifetime_ratio(a, b) == pytest.approx(1.0)
 
     def test_zero_transactions_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,40 @@
+"""E5 delta formatting: the zero-baseline "+0%" bug stays dead.
+
+A TATP run short enough that the *baseline* never garbage-collects used
+to report its GC-overhead delta as "+0%" — `_pct` returned 0 for a zero
+denominator, presenting "IPA did not help" where nothing was measured.
+The fix propagates ``nan`` to an explicit "n/a" cell.
+"""
+
+import math
+
+from repro.bench.claims import _fmt_pct, _fmt_ratio, _pct
+
+
+class TestPct:
+    def test_zero_baseline_is_nan_not_zero(self):
+        assert math.isnan(_pct(0, 0))
+        assert math.isnan(_pct(17, 0))
+
+    def test_ordinary_deltas(self):
+        assert _pct(150, 100) == 50.0
+        assert _pct(33, 100) == -67.0
+        assert _pct(100, 100) == 0.0
+
+
+class TestFormatting:
+    def test_nan_renders_as_na(self):
+        assert _fmt_pct(math.nan) == "n/a"
+        assert _fmt_ratio(math.nan) == "n/a"
+
+    def test_pct_keeps_sign(self):
+        assert _fmt_pct(-66.7) == "-67%"
+        assert _fmt_pct(45.2) == "+45%"
+        assert _fmt_pct(0.0) == "+0%"
+
+    def test_ratio_two_decimals_distinguish_near_one(self):
+        # 330 vs 318 erases is a real 1.04x — one decimal place used to
+        # round it to "1.0x", indistinguishable from the old clamp.
+        assert _fmt_ratio(330 / 318) == "1.04x"
+        assert _fmt_ratio(2.74) == "2.74x"
+        assert _fmt_ratio(float("inf")) == "inf"

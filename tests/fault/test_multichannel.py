@@ -1,0 +1,53 @@
+"""Crash-recovery sweeps against the multi-channel device.
+
+The single-channel sweeps in ``test_sweep.py`` gate the core recovery
+logic; these repeat the differential cycle on a 4-channel
+:class:`~repro.flash.device.FlashDevice` with the background collector
+enabled — the configuration where a crash tears *several* in-flight
+array operations at once (per-channel revert + re-tear) and where a
+background-GC erase may be outstanding at the crash instant (the erase
+barrier is what keeps the migrated data safe).
+"""
+
+import os
+
+import pytest
+
+from repro.fault import FaultBackend, run_crash_point, run_sweep
+from repro.fault.harness import BACKENDS
+
+POINTS = int(os.environ.get("FAULT_SWEEP_POINTS", "6"))
+
+
+def _fail_report(result) -> str:
+    lines = [
+        f"{result.backend}: {len(result.failures)}/{result.points} crash "
+        f"points failed recovery (ops_total={result.ops_total})"
+    ]
+    lines += [
+        f"  point={f.crash_point} op='{f.crash_op}' completed={f.completed} "
+        f"durable={f.durable_frames}: {f.detail}"
+        for f in result.failures[:10]
+    ]
+    return "\n".join(lines)
+
+
+class TestMultiChannelSweep:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_four_channels_with_background_gc_recover(self, backend):
+        config = FaultBackend(backend, channels=4, background_gc=True)
+        result = run_sweep(config, POINTS)
+        assert result.ok, _fail_report(result)
+        assert result.points == min(POINTS, result.ops_total)
+
+    def test_two_channels_without_background_gc_recover(self):
+        config = FaultBackend("noftl-ipa", channels=2)
+        result = run_sweep(config, POINTS)
+        assert result.ok, _fail_report(result)
+
+    def test_multichannel_crash_point_is_deterministic(self):
+        config = FaultBackend("ipa-ftl", channels=4, background_gc=True)
+        a = run_crash_point(config, 23, seed=13)
+        b = run_crash_point(config, 23, seed=13)
+        assert a == b
+        assert a.ok, a.detail

@@ -1,0 +1,121 @@
+"""Incremental background GC: correctness, budgets, and the fallbacks.
+
+The collector moves out of the eviction hot path: each allocation pays
+at most ``gc_migration_budget`` page migrations toward the current
+victim, an erase only fires once a victim is fully drained, and the old
+synchronous collector remains as the emergency path when the free list
+hits the spare floor anyway.  Mapping correctness must be untouched —
+the property suite's shadow-dict discipline is repeated here with the
+background collector on, single- and multi-channel.
+"""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.device import FlashDevice
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.page_mapping import PageMappingFtl
+
+GEO = FlashGeometry(page_size=128, oob_size=32, pages_per_block=4, blocks=20)
+
+
+def make_ftl(device=None, **kwargs):
+    device = device or FlashChip(GEO)
+    return PageMappingFtl(
+        device, over_provisioning=0.25, background_gc=True, **kwargs
+    )
+
+
+def churn(ftl, writes=800, lbas=None, seed_stride=7):
+    """Overwrite a small LBA window hard enough to force collection."""
+    lbas = lbas if lbas is not None else ftl.logical_pages // 2
+    shadow = {}
+    for i in range(writes):
+        lba = (i * seed_stride) % lbas
+        payload = bytes([i % 256]) * 16
+        ftl.write_page(lba, payload)
+        shadow[lba] = payload
+    return shadow
+
+
+class TestBackgroundCollector:
+    def test_mapping_correct_under_churn(self):
+        ftl = make_ftl()
+        shadow = churn(ftl)
+        for lba, payload in shadow.items():
+            assert ftl.read_page(lba)[:16] == payload
+
+    def test_background_counters_populate(self):
+        ftl = make_ftl()
+        # Full-span churn: victims then hold valid pages, so collection
+        # must migrate (a narrow hot set yields all-invalid victims and
+        # erase-only GC — no migrations to count).
+        churn(ftl, lbas=ftl.logical_pages)
+        metrics = ftl._blocks.stats.metrics
+        assert metrics.counter("background_gc_migrations").value > 0
+        assert metrics.counter("background_gc_erases").value > 0
+
+    def test_budget_bounds_migrations_per_allocation(self):
+        budget = 2
+        ftl = make_ftl(gc_migration_budget=budget)
+        manager = ftl._blocks
+        migrations = manager.stats.metrics.counter("background_gc_migrations")
+        emergencies = manager.stats.metrics.counter("gc_emergency_syncs")
+        last, last_emergency = migrations.value, emergencies.value
+        span = ftl.logical_pages
+        bounded_steps = 0
+        for i in range(900):
+            ftl.write_page((i * 7) % span, bytes([i % 256]) * 16)
+            now, now_emergency = migrations.value, emergencies.value
+            if now_emergency == last_emergency:
+                # Budget only caps the incremental path; an emergency
+                # sync legitimately drains the victim past it.
+                assert now - last <= budget
+                bounded_steps += 1
+            last, last_emergency = now, now_emergency
+        assert bounded_steps > 100 and last > 0  # not vacuously true
+
+    def test_emergency_sync_fallback_still_collects(self):
+        # A budget of 1 cannot keep up with a pool this tight: the free
+        # list will touch the spare floor and the synchronous collector
+        # must finish the job rather than dying of exhaustion.
+        ftl = make_ftl(gc_migration_budget=1)
+        shadow = churn(ftl, writes=1200, lbas=ftl.logical_pages)
+        manager = ftl._blocks
+        assert manager.stats.metrics.counter("gc_emergency_syncs").value > 0
+        for lba, payload in shadow.items():
+            assert ftl.read_page(lba)[:16] == payload
+
+    def test_invalid_parameters_rejected(self):
+        from repro.ftl.gc import BlockManager
+        from repro.ftl.interface import DeviceStats
+
+        with pytest.raises(ValueError):
+            make_ftl(gc_migration_budget=0)
+        with pytest.raises(ValueError):
+            # Watermark at/below the spare floor can never trigger early.
+            BlockManager(
+                FlashChip(GEO),
+                list(range(GEO.blocks)),
+                DeviceStats(),
+                background_gc=True,
+                gc_low_watermark=2,
+                gc_spare_blocks=2,
+            )
+
+    def test_multichannel_device_under_churn(self):
+        ftl = make_ftl(device=FlashDevice(GEO, channels=4))
+        shadow = churn(ftl)
+        for lba, payload in shadow.items():
+            assert ftl.read_page(lba)[:16] == payload
+        assert (
+            ftl._blocks.stats.metrics.counter("background_gc_erases").value > 0
+        )
+
+    def test_rebuild_resets_partial_victim(self):
+        ftl = make_ftl()
+        churn(ftl, writes=400)
+        manager = ftl._blocks
+        manager.rebuild_from_media()
+        assert manager._bg_victim is None
+        assert manager._bg_cursor == 0
