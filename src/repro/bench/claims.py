@@ -16,11 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.analysis.longevity import (
-    MLC_ENDURANCE_CYCLES,
-    PSLC_ENDURANCE_CYCLES,
-    lifetime_ratio,
-)
+from repro.analysis.longevity import MLC_ENDURANCE_CYCLES, lifetime_ratio
 from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
 from repro.bench.report import render_table
 from repro.core.config import SCHEME_2X4

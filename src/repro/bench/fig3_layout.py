@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.bench.report import render_table
 from repro.core.config import DELTA_METADATA_SIZE, IpaScheme
-from repro.flash.ecc import ECC_SLOT_SIZE, OobLayout
+from repro.flash.ecc import ECC_SLOT_SIZE, OobLayout, OobOverflowError
 from repro.storage.layout import SlottedPage
 
 PAGE_SIZE = 8192
@@ -54,7 +54,7 @@ def run(schemes: list | None = None) -> list[LayoutRow]:
         try:
             OobLayout(OOB_SIZE, scheme.n_records)
             fits = True
-        except Exception:
+        except OobOverflowError:
             fits = False
         rows.append(
             LayoutRow(

@@ -21,7 +21,7 @@ from repro.core.config import IPA_DISABLED, IpaScheme
 from repro.engine.database import Database
 from repro.flash.chip import FlashChip
 from repro.flash.device import FlashDevice
-from repro.flash.geometry import FlashGeometry, scaled_jasmine
+from repro.flash.geometry import FlashGeometry
 from repro.flash.modes import FlashMode
 from repro.flash.stats import DeviceStats, FlashStats
 from repro.ftl.ipa_ftl import IpaFtl

@@ -43,7 +43,7 @@ from dataclasses import dataclass
 
 from repro.flash.chip import FlashChip
 from repro.flash.errors import IllegalProgramError
-from repro.flash.page import PageState
+from repro.flash import PageState
 
 _MAGIC_UPDATE = 0x5A
 _MAGIC_FORMAT = 0x5B

@@ -30,6 +30,7 @@ from repro.flash.errors import (
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel, SimClock
 from repro.flash.modes import FlashMode
+from repro.flash.page import PageState
 from repro.flash.stats import FlashStats
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "IllegalAddressError",
     "IllegalProgramError",
     "LatencyModel",
+    "PageState",
     "SimClock",
     "WriteToProgrammedPageError",
 ]

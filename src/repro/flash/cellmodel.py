@@ -35,7 +35,7 @@ LEVEL_TO_GRAY: dict[int, tuple[int, int]] = {v: k for k, v in GRAY_TO_LEVEL.item
 ERASED_BYTE = 0xFF
 
 
-def as_u8(buf) -> np.ndarray:
+def as_u8(buf: bytes | bytearray | memoryview | np.ndarray) -> np.ndarray:
     """Zero-copy uint8 view of any byte source.
 
     Accepts ``bytes``, ``bytearray``, ``memoryview`` and uint8 ``ndarray``
@@ -49,12 +49,15 @@ def as_u8(buf) -> np.ndarray:
     return np.frombuffer(buf, dtype=np.uint8)
 
 
-def as_bits(data) -> np.ndarray:
+def as_bits(data: bytes | bytearray | memoryview | np.ndarray) -> np.ndarray:
     """View a byte buffer as a flat numpy array of bits (MSB first)."""
     return np.unpackbits(as_u8(data))
 
 
-def slc_transition_legal(old, new) -> bool:
+def slc_transition_legal(
+    old: bytes | bytearray | memoryview | np.ndarray,
+    new: bytes | bytearray | memoryview | np.ndarray,
+) -> bool:
     """True iff ``new`` can be programmed over ``old`` without an erase.
 
     Every bit transition must be 1 -> 0 or unchanged (charge can only be
@@ -70,7 +73,10 @@ def slc_transition_legal(old, new) -> bool:
     return not bool((b & ~a).any())
 
 
-def first_illegal_offset(old, new) -> int:
+def first_illegal_offset(
+    old: bytes | bytearray | memoryview | np.ndarray,
+    new: bytes | bytearray | memoryview | np.ndarray,
+) -> int:
     """Byte offset of the first 0 -> 1 transition, or -1 if none.
 
     Used to build actionable :class:`~repro.flash.errors.IllegalProgramError`
@@ -84,7 +90,10 @@ def first_illegal_offset(old, new) -> int:
     return int(idx[0]) if idx.size else -1
 
 
-def changed_byte_count(old, new) -> int:
+def changed_byte_count(
+    old: bytes | bytearray | memoryview | np.ndarray,
+    new: bytes | bytearray | memoryview | np.ndarray,
+) -> int:
     """Number of byte positions that differ between two page images."""
     a = as_u8(old)
     b = as_u8(new)
@@ -125,6 +134,6 @@ def mlc_transition_legal(
     return bool(np.all(new_levels >= old_levels))
 
 
-def is_erased(data) -> bool:
+def is_erased(data: bytes | bytearray | memoryview | np.ndarray) -> bool:
     """True iff every byte of the buffer is in the erased state (0xFF)."""
     return not bool((as_u8(data) != ERASED_BYTE).any())

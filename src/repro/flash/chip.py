@@ -34,6 +34,7 @@ from repro.flash.interference import DisturbModel, victim_table
 from repro.flash.latency import DEFAULT_LATENCY, LatencyModel, SimClock
 from repro.flash.modes import FlashMode, ModeRules, rules_for
 from repro.flash.page import PageState, PhysicalPage
+from repro.flash.sanitize import NULL_SANITIZER, sanitizer_from_env
 from repro.flash.stats import FlashStats
 from repro.obs.trace import NULL_TRACER
 
@@ -63,6 +64,12 @@ class FlashChip:
     #: the interrupted operation — the machine is off).
     fault_injector = None
 
+    #: Physics sanitizer: the shared disabled singleton unless the
+    #: REPRO_SANITIZE=1 environment flag was set at construction.  Disabled
+    #: cost per mutating operation: one attribute load + one bool test
+    #: (guarded by ``benchmarks/test_sanitize_overhead.py``).
+    sanitizer = NULL_SANITIZER
+
     def __init__(
         self,
         geometry: FlashGeometry,
@@ -80,6 +87,7 @@ class FlashChip:
         self.clock = clock if clock is not None else SimClock()
         self.ecc = ecc
         self.stats = FlashStats()
+        self.sanitizer = sanitizer_from_env()
         self._disturb = DisturbModel(self.rules, ecc, geometry.page_size, seed=seed)
         self.blocks = [
             EraseBlock(
@@ -209,10 +217,18 @@ class FlashChip:
             )
         if len(data) != self._page_size:
             data = self._pad(data)
+        sz = self.sanitizer
+        if sz.enabled:
+            violation = sz.program_violation(
+                block.pages[page_idx], data, oob, reprogram=False
+            )
         fi = self.fault_injector
         if fi is not None:
             fi.on_program(block.pages[page_idx], data, oob, reprogram=False)
         block.pages[page_idx].program(data, oob)
+        if sz.enabled:
+            sz.check_accepted(violation)
+            sz.check_programmed_image(block.pages[page_idx], data, oob)
         nbytes = len(data) + (len(oob) if oob else 0)
         self._charge_program(block_idx, page_idx, nbytes, reprogram=False)
 
@@ -238,10 +254,18 @@ class FlashChip:
             )
         if len(data) != self._page_size:
             data = self._pad(data)
+        sz = self.sanitizer
+        if sz.enabled:
+            violation = sz.program_violation(
+                block.pages[page_idx], data, oob, reprogram=True
+            )
         fi = self.fault_injector
         if fi is not None:
             fi.on_program(block.pages[page_idx], data, oob, reprogram=True)
         block.pages[page_idx].reprogram(data, oob)
+        if sz.enabled:
+            sz.check_accepted(violation)
+            sz.check_programmed_image(block.pages[page_idx], data, oob)
         nbytes = len(data) + (len(oob) if oob else 0)
         self._charge_program(block_idx, page_idx, nbytes, reprogram=True)
 
@@ -288,10 +312,17 @@ class FlashChip:
                 f"page {page_idx} may not be reprogrammed in "
                 f"{self.mode.value} mode"
             )
+        sz = self.sanitizer
+        if sz.enabled:
+            violation = sz.partial_violation(
+                page, offset, payload, oob_offset, oob_payload
+            )
         fi = self.fault_injector
         if fi is not None:
             fi.on_partial(page, offset, payload, oob_offset, oob_payload)
         page.append_range(offset, payload, oob_offset, oob_payload)
+        if sz.enabled:
+            sz.check_accepted(violation)
         # Latency/stats: a reprogram pulse train, but only the payload
         # crosses the bus (the whole point of write_delta).
         transferred = len(payload) + (len(oob_payload) if oob_payload else 0)
@@ -304,6 +335,9 @@ class FlashChip:
         if fi is not None:
             fi.on_erase(self.blocks[block_idx])
         self.blocks[block_idx].erase()
+        sz = self.sanitizer
+        if sz.enabled:
+            sz.check_erased_block(self.blocks[block_idx])
         self.clock.advance(self.latency.erase_us, "erase")
         self.stats.block_erases += 1
         tr = self.tracer

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import fields as dataclass_fields
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.flash.chip import FlashChip
 from repro.flash.ecc import DEFAULT_ECC, EccConfig
@@ -60,6 +60,11 @@ from repro.flash.latency import DEFAULT_LATENCY, LatencyModel, SimClock
 from repro.flash.modes import FlashMode
 from repro.flash.stats import FlashStats
 from repro.obs.trace import NULL_TRACER
+
+if TYPE_CHECKING:
+    from repro.fault.injector import FaultInjector
+    from repro.flash.block import EraseBlock
+    from repro.flash.page import PageState, PhysicalPage
 
 #: Seed stride between chips: keeps every chip's disturb stream distinct
 #: while chip 0 stays identical to a bare chip built with ``seed``.
@@ -71,7 +76,9 @@ class _InflightOp:
 
     __slots__ = ("start_us", "end_us", "undo")
 
-    def __init__(self, start_us: float, end_us: float, undo) -> None:
+    def __init__(
+        self, start_us: float, end_us: float, undo: tuple | None
+    ) -> None:
         self.start_us = start_us
         self.end_us = end_us
         #: Revert recipe for power-loss tearing; ``None`` outside fault
@@ -107,7 +114,7 @@ class _StripedBlocks:
     def __len__(self) -> int:
         return self._total
 
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: int | slice) -> EraseBlock | list[EraseBlock]:
         if isinstance(idx, slice):
             return [self[i] for i in range(*idx.indices(self._total))]
         if idx < 0:
@@ -117,7 +124,7 @@ class _StripedBlocks:
         n = len(self._chips)
         return self._chips[idx % n].blocks[idx // n]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[EraseBlock]:
         return (self[i] for i in range(self._total))
 
 
@@ -223,11 +230,11 @@ class FlashDevice:
         return total
 
     @property
-    def fault_injector(self):
+    def fault_injector(self) -> FaultInjector | None:
         return self._fault_injector
 
     @fault_injector.setter
-    def fault_injector(self, injector) -> None:
+    def fault_injector(self, injector: FaultInjector | None) -> None:
         """Forward attachment to every chip (``FaultInjector.attach``)."""
         self._fault_injector = injector
         for chip in self.chips:
@@ -242,12 +249,12 @@ class FlashDevice:
         """Total pages available to store data in the current mode."""
         return len(self._usable_offsets) * self.geometry.blocks
 
-    def page_at(self, ppn: int):
+    def page_at(self, ppn: int) -> PhysicalPage:
         """The :class:`PhysicalPage` behind a *global* physical page number."""
         channel, local_ppn = self._route_ppn(ppn)
         return channel.chip.page_at(local_ppn)
 
-    def page_state(self, ppn: int):
+    def page_state(self, ppn: int) -> PageState:
         """Programming state of a page without charging read latency."""
         return self.page_at(ppn).state
 
@@ -563,7 +570,9 @@ class FlashDevice:
             [(page, page.snapshot_image()) for page in block.pages],
         )
 
-    def _revert(self, undo: tuple, started: bool, injector) -> None:
+    def _revert(
+        self, undo: tuple, started: bool, injector: FaultInjector | None
+    ) -> None:
         kind = undo[0]
         if kind == "erase":
             _kind, block, erase_count, is_bad, snaps = undo

@@ -11,6 +11,10 @@ Every metric of the paper's Table 1 is derived from these counters:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -69,7 +73,7 @@ class DeviceStats:
     extra: dict = field(default_factory=dict)
 
     @property
-    def metrics(self):
+    def metrics(self) -> "MetricsRegistry":
         """Registry of auxiliary counters, backed by ``extra``.
 
         The registry's scalar store *is* the ``extra`` dict, so

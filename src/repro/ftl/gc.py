@@ -16,10 +16,11 @@ from collections import deque
 from repro.flash.chip import FlashChip
 from repro.flash.errors import BadBlockError
 from repro.flash.page import PageState
+from repro.flash.sanitize import NULL_SANITIZER, sanitizer_from_env
 from repro.flash.stats import DeviceStats
 from repro.ftl.interface import DeviceFullError
 from repro.ftl.oob_meta import OOB_META_SIZE, pack_oob_meta, unpack_oob_meta
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, Span
 
 
 class BlockManager:
@@ -65,6 +66,10 @@ class BlockManager:
     #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
     tracer = NULL_TRACER
 
+    #: Physics sanitizer (REPRO_SANITIZE=1): full conservation/bijectivity
+    #: audits after victim erases and remounts, cheap pair checks per write.
+    sanitizer = NULL_SANITIZER
+
     def __init__(
         self,
         chip: FlashChip,
@@ -98,6 +103,7 @@ class BlockManager:
             )
         self.chip = chip
         self.stats = stats
+        self.sanitizer = sanitizer_from_env()
         # Registered metrics replacing the old untyped stats.extra pokes;
         # the registry is backed by stats.extra, so legacy readers see
         # exactly the same keys.
@@ -206,6 +212,9 @@ class BlockManager:
             self.stats.page_invalidations += 1
         self._map(lba, ppn)
         self.appends_done[ppn] = 0
+        sz = self.sanitizer
+        if sz.enabled:
+            sz.check_mapping_pair(self, lba, ppn)
         return ppn
 
     def replace_in_place(self, lba: int) -> int:
@@ -290,6 +299,9 @@ class BlockManager:
         self._seq = max_seq + 1
         self._bg_victim = None
         self._bg_cursor = 0
+        sz = self.sanitizer
+        if sz.enabled:
+            sz.check_block_manager(self)
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -486,7 +498,7 @@ class BlockManager:
         with tr.span("gc_erase", victim=victim) as span:
             self._reclaim_inner(victim, span)
 
-    def _reclaim_inner(self, victim: int, span) -> None:
+    def _reclaim_inner(self, victim: int, span: Span | None) -> None:
         migrated = 0
         for page_offset in self._usable_offsets:
             if self._migrate_page(victim, page_offset):
@@ -517,10 +529,13 @@ class BlockManager:
         self._valid[victim] -= 1
         self._map(lba, new_ppn)
         self.stats.gc_page_migrations += 1
+        sz = self.sanitizer
+        if sz.enabled:
+            sz.check_mapping_pair(self, lba, new_ppn)
         return True
 
     def _erase_victim(
-        self, victim: int, span, background: bool = False
+        self, victim: int, span: Span | None, background: bool = False
     ) -> None:
         """Erase a fully-migrated victim and return it to the free pool."""
         try:
@@ -534,6 +549,9 @@ class BlockManager:
         if background:
             self._m_bg_erases.inc()
         self._free.append(victim)
+        sz = self.sanitizer
+        if sz.enabled:
+            sz.check_block_manager(self)
 
     def _retire(self, block_id: int) -> None:
         """Remove a worn-out block from circulation."""

@@ -191,6 +191,11 @@ class Region:
         except (IllegalProgramError, ModeViolationError):
             return False
         self._blocks.appends_done[ppn] = used + 1
+        sz = self._blocks.sanitizer
+        if sz.enabled:
+            sz.check_delta_slots(
+                self.chip.page_at(ppn), self._oob_layout, used + 1
+            )
         self.stats.host_delta_writes += 1
         # The OOB CRC slot crosses the host interface too (the DBMS ships
         # it with the delta in the write_delta command), so it counts.
@@ -290,7 +295,9 @@ class NoFtlDevice:
                     getattr(aggregate, f.name) + getattr(region.stats, f.name),
                 )
             for key, value in region.stats.extra.items():
-                metrics.counter(key).inc(value)
+                # Mechanical roll-up of per-region counters into the
+                # aggregate; the per-region sites declare the keys.
+                metrics.counter(key).inc(value)  # reprolint: allow[R3]
         return aggregate
 
     def region_report(self) -> str:

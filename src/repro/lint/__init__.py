@@ -1,0 +1,30 @@
+"""reprolint — repo-specific static analysis for the simulator.
+
+The paper's claims are *count* claims, so every accounting bug is a
+fidelity bug; and the whole experimental method rests on deterministic
+replay, so every stray wall-clock read or unseeded RNG is a
+reproducibility bug.  Generic linters cannot know any of that.  This
+package encodes the repo's own contracts as AST rules:
+
+* **R1 determinism** — no wall-clock, no unseeded module-level RNG
+  anywhere under ``src/repro``.
+* **R2 layering** — nothing outside ``repro.flash`` / ``repro.ftl`` /
+  ``repro.fault`` imports the flash internals; nothing outside
+  ``repro.flash`` touches ``PhysicalPage`` private buffers or
+  ``FlashChip._charge_program``.
+* **R3 counter registry** — every literal metric key used in code is
+  declared in :mod:`repro.obs.registry` and vice versa.
+* **R4 exception hygiene** — no ``except`` broad enough to swallow
+  ``PowerLossError`` (a ``RuntimeError``) without re-raising.
+* **R5 hygiene** — unused imports, placeholder-free f-strings, mutable
+  default arguments (the ruff subset this repo cares about, kept local
+  so the gate runs with no third-party installs).
+
+Run it as ``python -m repro.lint``; suppress a single finding with a
+``# reprolint: allow[R3]`` comment on the same or the preceding line.
+See ``docs/static_analysis.md`` for each rule's motivating bug.
+"""
+
+from repro.lint.engine import Violation, lint_file, run_lint
+
+__all__ = ["Violation", "lint_file", "run_lint"]

@@ -1,0 +1,84 @@
+"""CLI: ``python -m repro.lint [paths...] [--select R1,R3]``.
+
+With no paths, lints ``src/`` and ``tests/`` of the repo root (found by
+walking up from the current directory to the nearest ``pyproject.toml``).
+Exit status 1 if any violation survives pragmas, else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.engine import run_lint
+from repro.lint.rules import ALL_RULES
+
+
+def _repo_root() -> Path:
+    current = Path.cwd().resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="repo-specific static analysis (rules R1-R5)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/ and tests/)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule ids and one-line summaries, then exit",
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for factory in ALL_RULES:
+            doc = (factory.__doc__ or "").strip().splitlines()[0]
+            print(f"{factory.rule_id}  {doc}")
+        return 0
+
+    if options.paths:
+        roots = [path for path in options.paths]
+    else:
+        repo = _repo_root()
+        roots = [repo / "src", repo / "tests"]
+        roots = [root for root in roots if root.exists()]
+    missing = [root for root in roots if not root.exists()]
+    if missing:
+        for root in missing:
+            print(f"error: no such path: {root}", file=sys.stderr)
+        return 2
+
+    select = (
+        frozenset(part.strip() for part in options.select.split(","))
+        if options.select
+        else None
+    )
+    violations = run_lint(roots, select=select)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            f"reprolint: {len(violations)} violation(s)", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

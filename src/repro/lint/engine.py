@@ -1,0 +1,165 @@
+"""File walking, pragma handling and rule orchestration for reprolint."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.rules import ALL_RULES, Rule
+
+#: ``# reprolint: allow[R1]`` or ``allow[R1,R3]`` — suppresses the named
+#: rules on the comment's own line and on the line below it (so the
+#: pragma can sit above a long statement).
+PRAGMA_RE = re.compile(r"#\s*reprolint:\s*allow\[([A-Z0-9,\s]+)\]")
+
+#: Directories never scanned: caches, and the lint test fixtures (which
+#: contain violations on purpose).
+SKIP_DIRS = {"__pycache__", ".git", "fixtures", ".venv", "build", "dist"}
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: ``path:line:col: RULE message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed on that line."""
+    allow: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        for target in (lineno, lineno + 1):
+            allow[target] = allow.get(target, frozenset()) | rules
+    return allow
+
+
+def module_name_for(path: Path) -> str | None:
+    """Derive the dotted module name from a ``src/repro/...`` path.
+
+    Files inside a ``fixtures`` directory get a pseudo-identity of
+    ``repro.<stem>`` so that explicitly linting the fixture tree (the
+    default walk skips it) exercises the src-scoped rules.
+    """
+    parts = path.resolve().with_suffix("").parts
+    for index in range(len(parts) - 1):
+        if parts[index] == "src" and parts[index + 1] == "repro":
+            mod_parts = list(parts[index + 1 :])
+            if mod_parts[-1] == "__init__":
+                mod_parts.pop()
+            return ".".join(mod_parts)
+    if "fixtures" in parts:
+        return f"repro.{path.stem}"
+    return None
+
+
+def iter_py_files(roots: list[Path]) -> list[Path]:
+    """All ``.py`` files under the roots, skipping caches and fixtures."""
+    found: list[Path] = []
+    for root in roots:
+        if root.is_file() and root.suffix == ".py":
+            found.append(root)
+            continue
+        for path in sorted(root.rglob("*.py")):
+            # Skip-dirs apply below the root only, so explicitly
+            # pointing the CLI at a fixtures directory still works.
+            relative = path.relative_to(root)
+            if SKIP_DIRS.intersection(relative.parts[:-1]):
+                continue
+            found.append(path)
+    return found
+
+
+def lint_file(
+    path: Path,
+    module: str | None = None,
+    rules: list[Rule] | None = None,
+) -> list[Violation]:
+    """Lint one file.  ``module`` overrides path-derived identity
+    (used by the fixture tests to run src-scoped rules on files that
+    live outside ``src/repro``)."""
+    active = [factory() for factory in ALL_RULES] if rules is None else rules
+    return _lint_one(path, module, active)
+
+
+def _lint_one(
+    path: Path, module: str | None, rules: list[Rule]
+) -> list[Violation]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule="PARSE",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    if module is None:
+        module = module_name_for(path)
+    allow = parse_pragmas(source)
+    found: list[Violation] = []
+    for rule in rules:
+        if not rule.applies(module, path):
+            continue
+        for line, col, message in rule.check(tree, path, module):
+            if rule.rule_id in allow.get(line, frozenset()):
+                continue
+            found.append(
+                Violation(
+                    path=str(path),
+                    line=line,
+                    col=col,
+                    rule=rule.rule_id,
+                    message=message,
+                )
+            )
+    return found
+
+
+def run_lint(
+    paths: list[Path],
+    select: frozenset[str] | None = None,
+    module_overrides: dict[Path, str] | None = None,
+) -> list[Violation]:
+    """Lint every file under ``paths``; returns sorted violations.
+
+    Rules carry cross-file state (R3's declared-but-unused direction),
+    so one rule instance sees the whole batch, then ``finish()`` runs.
+    """
+    rules: list[Rule] = [factory() for factory in ALL_RULES]
+    if select is not None:
+        rules = [rule for rule in rules if rule.rule_id in select]
+    overrides = module_overrides or {}
+    found: list[Violation] = []
+    for path in iter_py_files(paths):
+        found.extend(_lint_one(path, overrides.get(path), rules))
+    for rule in rules:
+        for path_str, line, col, message in rule.finish():
+            found.append(
+                Violation(
+                    path=path_str,
+                    line=line,
+                    col=col,
+                    rule=rule.rule_id,
+                    message=message,
+                )
+            )
+    return sorted(found)

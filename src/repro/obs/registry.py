@@ -1,0 +1,43 @@
+"""The single source of truth for named metric keys.
+
+Lint rule **R3** (``python -m repro.lint``) enforces both directions of
+this contract:
+
+* every literal key passed to ``.counter(...)`` / ``.gauge(...)`` /
+  ``.histogram(...)`` or subscripted on ``stats.extra[...]`` anywhere
+  under ``src/repro`` must be declared here, and
+* every key declared here must be used by at least one such site.
+
+PR 4 shipped three accounting bugs (wrong wear basis, zero-erase
+division, mis-scoped counters) that boiled down to counter keys drifting
+between writer and reader; a key can no longer be renamed, added or
+retired on one side only without the lint gate failing.
+
+Prefixed families created dynamically by ``Observation.create`` —
+``device_*`` / ``flash_*`` / ``manager_*`` / ``buffer_*`` callback
+gauges, ``clock_*_us`` and the per-channel ``channel{i}_*`` mirrors —
+are derived mechanically from dataclass fields, so they cannot drift by
+hand-editing a string and are out of R3's scope.
+"""
+
+from __future__ import annotations
+
+#: key -> help text (mirrors the ``help=`` string at the counter site).
+KNOWN_METRIC_KEYS: dict[str, str] = {
+    # repro.ftl.gc.BlockManager
+    "wear_leveling_moves": "static wear-leveling victim picks",
+    "retired_blocks": "blocks retired after exceeding endurance",
+    "background_gc_migrations": (
+        "page migrations done by the incremental collector"
+    ),
+    "background_gc_erases": (
+        "victim erases completed by the incremental collector"
+    ),
+    "gc_emergency_syncs": "foreground ops that fell back to synchronous GC",
+    # repro.baselines.ipl.IplDevice
+    "log_sector_flushes": "log sectors partially programmed",
+    "merges": "block merges (IPL's GC)",
+    "log_page_reads": "log pages read for reconstruction/merge",
+    # repro.obs.Observation
+    "txn_latency_us": "simulated per-transaction latency",
+}

@@ -7,8 +7,6 @@ the return value feeds recovery reporting, and counting no-ops made
 every recovery look like it replayed the whole log.
 """
 
-import pytest
-
 from repro.core.config import IPA_DISABLED
 from repro.engine.wal import FormatRecord, WriteAheadLog, recover
 from repro.flash.chip import FlashChip

@@ -23,7 +23,6 @@ from repro.flash.chip import FlashChip
 from repro.flash.device import FlashDevice
 from repro.flash.errors import IllegalAddressError, IllegalProgramError
 from repro.flash.geometry import FlashGeometry
-from repro.flash.latency import SimClock
 from repro.flash.modes import FlashMode
 from repro.flash.page import PageState
 

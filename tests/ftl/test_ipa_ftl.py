@@ -1,7 +1,5 @@
 """IPA-aware conventional SSD (Demo-Scenario 2): append detection."""
 
-import pytest
-
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
 from repro.flash.modes import FlashMode

@@ -5,7 +5,7 @@ import pytest
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
 from repro.flash.modes import FlashMode
-from repro.ftl.interface import DeviceFullError, FlashBackend
+from repro.ftl.interface import FlashBackend
 from repro.ftl.page_mapping import PageMappingFtl
 
 GEO = FlashGeometry(page_size=256, oob_size=64, pages_per_block=8, blocks=16)

@@ -8,7 +8,6 @@ dict mirrors the expected logical state.  Any divergence is a
 correctness bug in the write or reconstruction path.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -19,7 +18,6 @@ from repro.engine.database import Database
 from repro.engine.schema import Column, ColumnType, Schema
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
-from repro.flash.modes import FlashMode
 from repro.ftl.ipa_ftl import IpaFtl
 from repro.ftl.noftl import IpaRegionConfig, NoFtlDevice
 from repro.ftl.page_mapping import PageMappingFtl

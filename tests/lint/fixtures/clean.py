@@ -1,0 +1,8 @@
+"""Fixture: no violations under any rule."""
+
+import numpy as np
+
+
+def seeded(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())

@@ -1,0 +1,24 @@
+"""Fixture: R1 determinism violations (wall-clock + unseeded RNG)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def noise() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())
+
+
+def seeded_ok(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())

@@ -1,0 +1,7 @@
+"""Fixture: R2 layering violations (deep import + private attribute)."""
+
+from repro.flash.page import PhysicalPage
+
+
+def poke(page: PhysicalPage) -> None:
+    page._data_np[0] = 0

@@ -1,0 +1,5 @@
+"""Fixture: R3 counter-registry violation (undeclared metric key)."""
+
+
+def count(stats) -> None:
+    stats.metrics.counter("totally_unregistered_key").inc()

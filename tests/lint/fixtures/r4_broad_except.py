@@ -1,0 +1,17 @@
+"""Fixture: R4 exception-hygiene violation (broad handler, no re-raise)."""
+
+
+def swallow(op) -> bool:
+    try:
+        op()
+        return True
+    except Exception:
+        return False
+
+
+def reraise_ok(op) -> bool:
+    try:
+        op()
+        return True
+    except Exception:
+        raise

@@ -23,12 +23,12 @@ class TestImports:
         assert repro.__version__ == "1.0.0"
 
     def test_public_reexports(self):
-        from repro.core import ChangeTracker, DeltaRecord, IpaScheme  # noqa
-        from repro.engine import Database, Schema, Transaction  # noqa
-        from repro.flash import FlashChip, FlashGeometry, FlashMode  # noqa
-        from repro.ftl import IpaFtl, NoFtlDevice, PageMappingFtl  # noqa
-        from repro.storage import BufferPool, SlottedPage, StorageManager  # noqa
-        from repro.workloads import WORKLOADS  # noqa
+        from repro.core import ChangeTracker, DeltaRecord, IpaScheme  # noqa: F401  # reprolint: allow[R5]
+        from repro.engine import Database, Schema, Transaction  # noqa: F401  # reprolint: allow[R5]
+        from repro.flash import FlashChip, FlashGeometry, FlashMode  # noqa: F401  # reprolint: allow[R5]
+        from repro.ftl import IpaFtl, NoFtlDevice, PageMappingFtl  # noqa: F401  # reprolint: allow[R5]
+        from repro.storage import BufferPool, SlottedPage, StorageManager  # noqa: F401  # reprolint: allow[R5]
+        from repro.workloads import WORKLOADS  # noqa: F401  # reprolint: allow[R5]
 
     def test_every_public_module_has_docstring(self):
         for name in walk_modules():
