@@ -1,5 +1,7 @@
-"""Disabled-sanitizer overhead guard: REPRO_SANITIZE=0 must be free.
+"""Disabled-sanitizer and disabled-ledger overhead guards.
 
+REPRO_SANITIZE=0 must be free, and so must an un-observed stack's
+write-attribution ledger / lifetime-tracker hooks.
 Mirrors the disabled-observability guard in test_simulator_speed.py.
 Every sanitizer hook is one attribute load + one bool test when the
 flag is off; this A/B-times the same overwrite workload with the shared
@@ -33,6 +35,7 @@ from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
 from repro.flash.sanitize import Sanitizer
 from repro.ftl.page_mapping import PageMappingFtl
+from repro.obs.ledger import LifetimeTracker, WriteLedger
 
 GEO = FlashGeometry(page_size=4096, oob_size=128, pages_per_block=64,
                     blocks=64)
@@ -52,6 +55,20 @@ class _DisabledSanitizer(Sanitizer):
     enabled = False
 
 
+class _DisabledLedger(WriteLedger):
+    """A real WriteLedger with its hooks switched off (layout-matched)."""
+
+    __slots__ = ()
+    enabled = False
+
+
+class _DisabledLifetimeTracker(LifetimeTracker):
+    """A real LifetimeTracker with its hooks switched off."""
+
+    __slots__ = ()
+    enabled = False
+
+
 def _build():
     ftl = PageMappingFtl(FlashChip(GEO), over_provisioning=0.2)
     rng = np.random.default_rng(1)
@@ -59,16 +76,46 @@ def _build():
     return ftl, lbas
 
 
-def _attach(ftl, sanitizer):
-    ftl.chip.sanitizer = sanitizer
-    ftl._blocks.sanitizer = sanitizer
-
-
-def _measure_ratio():
-    payload = b"\xab" * 512
-    ftl, lbas = _build()
+def _sanitizer_roles(ftl):
+    """(attach-baseline, attach-off) closures for the sanitizer A/B."""
     null = ftl.chip.sanitizer  # the shared NULL_SANITIZER default
     off = _DisabledSanitizer()
+
+    def attach(sanitizer):
+        ftl.chip.sanitizer = sanitizer
+        ftl._blocks.sanitizer = sanitizer
+
+    return (lambda: attach(null)), (lambda: attach(off))
+
+
+def _ledger_roles(ftl):
+    """(attach-baseline, attach-off) closures for the ledger A/B.
+
+    Baseline is the shared NULL_LEDGER / NULL_LIFETIMES class defaults;
+    the off role attaches real-but-disabled instances, exercising the
+    ``lg = self.ledger; if lg.enabled`` guards on the chip program path,
+    the block manager's OOB shift and lifetime hooks.
+    """
+    null_ledger = ftl.chip.ledger
+    null_lifetimes = ftl._blocks.lifetimes
+    off_ledger = _DisabledLedger()
+    off_lifetimes = _DisabledLifetimeTracker(ftl.chip.clock)
+
+    def attach(ledger, lifetimes):
+        ftl.chip.ledger = ledger
+        ftl._blocks.ledger = ledger
+        ftl._blocks.lifetimes = lifetimes
+
+    return (
+        lambda: attach(null_ledger, null_lifetimes),
+        lambda: attach(off_ledger, off_lifetimes),
+    )
+
+
+def _measure_ratio(roles=_sanitizer_roles):
+    payload = b"\xab" * 512
+    ftl, lbas = _build()
+    attach_base, attach_off = roles(ftl)
     slices = [lbas[i:i + SLICE] for i in range(0, len(lbas), SLICE)]
     for sl in slices:  # warm-up
         for lba in sl:
@@ -80,7 +127,7 @@ def _measure_ratio():
         for round_idx in range(ROUNDS):
             for i, sl in enumerate(slices):
                 use_off = (i + round_idx) % 2 == 1
-                _attach(ftl, off if use_off else null)
+                (attach_off if use_off else attach_base)()
                 start = time.perf_counter()
                 for lba in sl:
                     ftl.write_page(lba, payload)
@@ -94,17 +141,25 @@ def _measure_ratio():
     return sum(off_min) / sum(base_min)
 
 
-def test_disabled_sanitizer_overhead():
+def _assert_free(label, roles):
     ratios = []
     for _ in range(3):
-        ratio = _measure_ratio()
+        ratio = _measure_ratio(roles)
         ratios.append(ratio)
         if ratio <= 1.02:
             break
     best = min(ratios)
-    print(f"\ndisabled-sanitizer overhead: {100 * (best - 1):+.1f}% "
+    print(f"\ndisabled-{label} overhead: {100 * (best - 1):+.1f}% "
           f"({len(ratios)} attempt(s))")
     assert best <= 1.02, (
-        f"disabled sanitizer costs {100 * (best - 1):.1f}% > 2% on the "
+        f"disabled {label} costs {100 * (best - 1):.1f}% > 2% on the "
         f"primitive hot path in all {len(ratios)} attempts"
     )
+
+
+def test_disabled_sanitizer_overhead():
+    _assert_free("sanitizer", _sanitizer_roles)
+
+
+def test_disabled_ledger_overhead():
+    _assert_free("ledger", _ledger_roles)

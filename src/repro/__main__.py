@@ -15,7 +15,9 @@ plus the demo runner:
     python -m repro ipl-sweep         # A4  — IPL sizing sweep
     python -m repro ycsb              # E10 — YCSB extension
     python -m repro latency           # E11 — transaction tail latency
-    python -m repro obs [--fast]      # observed run: spans, GC attribution
+    python -m repro obs [report] [--fast]   # observed run: spans, GC
+                                            # attribution, WA waterfall
+    python -m repro obs timeline out.json   # Chrome-trace/Perfetto timeline
     python -m repro all [--fast] [--out FILE]   # regenerate EXPERIMENTS.md
     python -m repro demo [...]        # the EDBT demo scenarios (CLI GUI)
 """
@@ -58,7 +60,18 @@ def main(argv: list[str] | None = None) -> int:
     elif command == "latency":
         from repro.bench.tail_latency import main as run
     elif command == "obs":
-        from repro.obs.report import main as run
+        # Sub-commands: ``obs timeline`` / ``obs report``; bare ``obs``
+        # (possibly with flags) keeps meaning the report for
+        # backward compatibility with ``python -m repro obs --fast``.
+        if rest and rest[0] == "timeline":
+            rest = rest[1:]
+            sys.argv = ["repro obs timeline"] + rest
+            from repro.obs.chrometrace import main as run
+        else:
+            if rest and rest[0] == "report":
+                rest = rest[1:]
+            sys.argv = ["repro obs report"] + rest
+            from repro.obs.report import main as run
     elif command == "all":
         from repro.bench.run_all import main as run
     elif command == "demo":

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from repro.flash.chip import FlashChip
 from repro.flash.errors import IllegalProgramError
 from repro.flash import PageState
+from repro.obs.ledger import NULL_LEDGER
 
 _MAGIC_UPDATE = 0x5A
 _MAGIC_FORMAT = 0x5B
@@ -186,6 +187,11 @@ class WriteAheadLog:
     device, never in-memory mirrors.
     """
 
+    #: Write-attribution ledger: replaced per-instance by
+    #: ``repro.obs.ledger.attach_ledger`` (the log device's programs and
+    #: truncation erases are attributed to the ``wal`` cause).
+    ledger = NULL_LEDGER
+
     def __init__(self, chip: FlashChip) -> None:
         self.chip = chip
         self.stats = WalStats()
@@ -237,6 +243,14 @@ class WriteAheadLog:
 
     def _append(self, payload: bytes) -> None:
         """Append bytes to the sequential log, page by page."""
+        lg = self.ledger
+        if not lg.enabled:
+            self._append_inner(payload)
+            return
+        with lg.cause("wal"):
+            self._append_inner(payload)
+
+    def _append_inner(self, payload: bytes) -> None:
         page_size = self.chip.geometry.page_size
         remaining = payload
         while remaining:
@@ -267,8 +281,14 @@ class WriteAheadLog:
         flushed data pages — redo is idempotent) rather than an erased
         head with unreachable frames behind it.
         """
-        for block in reversed(range(self.chip.geometry.blocks)):
-            self.chip.erase_block(block)
+        lg = self.ledger
+        if not lg.enabled:
+            for block in reversed(range(self.chip.geometry.blocks)):
+                self.chip.erase_block(block)
+        else:
+            with lg.cause("wal"):
+                for block in reversed(range(self.chip.geometry.blocks)):
+                    self.chip.erase_block(block)
         self._page_index = 0
         self._page_offset = 0
         self._txn_buffer = []

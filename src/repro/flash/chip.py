@@ -36,6 +36,7 @@ from repro.flash.modes import FlashMode, ModeRules, rules_for
 from repro.flash.page import PageState, PhysicalPage
 from repro.flash.sanitize import NULL_SANITIZER, sanitizer_from_env
 from repro.flash.stats import FlashStats
+from repro.obs.ledger import NULL_LEDGER
 from repro.obs.trace import NULL_TRACER
 
 
@@ -69,6 +70,13 @@ class FlashChip:
     #: cost per mutating operation: one attribute load + one bool test
     #: (guarded by ``benchmarks/test_sanitize_overhead.py``).
     sanitizer = NULL_SANITIZER
+
+    #: Write-attribution ledger: replaced per-instance by
+    #: ``repro.obs.ledger.attach_ledger``.  Charged from the exact sites
+    #: that increment :class:`FlashStats` (``_charge_program`` /
+    #: ``erase_block``) so per-cause counts cannot drift from the
+    #: physical totals.  Same disabled cost contract as the sanitizer.
+    ledger = NULL_LEDGER
 
     def __init__(
         self,
@@ -326,7 +334,9 @@ class FlashChip:
         # Latency/stats: a reprogram pulse train, but only the payload
         # crosses the bus (the whole point of write_delta).
         transferred = len(payload) + (len(oob_payload) if oob_payload else 0)
-        self._charge_program(block_idx, page_idx, transferred, reprogram=True)
+        self._charge_program(
+            block_idx, page_idx, transferred, reprogram=True, partial=True
+        )
 
     def erase_block(self, block_idx: int) -> None:
         """Erase one block (all pages, data and OOB)."""
@@ -340,6 +350,14 @@ class FlashChip:
             sz.check_erased_block(self.blocks[block_idx])
         self.clock.advance(self.latency.erase_us, "erase")
         self.stats.block_erases += 1
+        lg = self.ledger
+        if lg.enabled:
+            lg.on_erase()
+            if sz.enabled:
+                # Erases are rare and already pay a full block audit, so
+                # this is where the per-cause ledger is re-checked against
+                # the physical counters under REPRO_SANITIZE=1.
+                sz.check_ledger(lg)
         tr = self.tracer
         if tr.enabled:
             tr.record("chip_erase", dur_us=self.latency.erase_us, block=block_idx)
@@ -364,12 +382,15 @@ class FlashChip:
         page_idx: int,
         nbytes: int,
         reprogram: bool,
+        partial: bool = False,
     ) -> None:
         """Latency, stats, tracing and interference of one program pulse.
 
         Shared by ``program_page``, ``reprogram_page`` and
         ``partial_program`` (which charges only the transferred bytes) so
-        the three accounting paths cannot drift.
+        the three accounting paths cannot drift.  The write ledger is
+        charged here — the single site that increments the program
+        counters — so per-cause attribution stays conservation-exact.
         """
         if reprogram:
             op_us = self._reprogram_us
@@ -384,6 +405,9 @@ class FlashChip:
             op_us, "program", nbytes * self._bus_us_per_byte, "bus"
         )
         self.stats.bytes_programmed += nbytes
+        lg = self.ledger
+        if lg.enabled:
+            lg.on_program(nbytes, reprogram, partial)
         tr = self.tracer
         if tr.enabled and getattr(tr, "trace_chip_ops", False):
             tr.record(

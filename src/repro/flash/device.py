@@ -59,6 +59,7 @@ from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import DEFAULT_LATENCY, LatencyModel, SimClock
 from repro.flash.modes import FlashMode
 from repro.flash.stats import FlashStats
+from repro.obs.ledger import NULL_LEDGER
 from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:
@@ -150,6 +151,9 @@ class FlashDevice:
 
     #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
     tracer = NULL_TRACER
+    #: Write-attribution ledger; ``repro.obs.ledger.attach_ledger`` replaces
+    #: this per-instance and forwards it to every chip (the chips charge it).
+    ledger = NULL_LEDGER
 
     def __init__(
         self,
@@ -499,6 +503,14 @@ class FlashDevice:
                 op.start_us += array_us
                 op.end_us += array_us
             channel.busy_until_us += array_us
+        tr = self.tracer
+        if array_us and tr.enabled and getattr(tr, "trace_channel_ops", False):
+            # The sense ends *now* on the host clock (the host blocked on it).
+            tr.record(
+                "channel_read", dur_us=array_us,
+                channel=channel.index, op="read",
+                queued=len(channel.inflight),
+            )
 
     def _issue_array_op(
         self,
@@ -550,6 +562,18 @@ class FlashDevice:
         channel.inflight.append(_InflightOp(start, end, undo))
         channel.ops += 1
         channel.busy_us += op_us
+        tr = self.tracer
+        if tr.enabled and getattr(tr, "trace_channel_ops", False):
+            if bus_us:
+                tr.record("bus_xfer", dur_us=bus_us,
+                          channel=channel.index, op=kind)
+            # The pulse may be scheduled in the host clock's future, so
+            # the event carries its explicit start time.
+            tr.record_at(
+                "channel_op", start, op_us,
+                channel=channel.index, op=kind,
+                queued=len(channel.inflight),
+            )
 
     def _program_undo(
         self, chip: FlashChip, local_ppn: int, data: bytes, oob: bytes | None

@@ -48,6 +48,7 @@ if TYPE_CHECKING:
     from repro.flash.block import EraseBlock
     from repro.flash.ecc import OobLayout
     from repro.ftl.gc import BlockManager
+    from repro.obs.ledger import WriteLedger
 
 ENV_VAR = "REPRO_SANITIZE"
 
@@ -286,6 +287,18 @@ class Sanitizer:
                     f"sanitize: appends_done tracks ppn {ppn} that is not "
                     "mapped to any LBA"
                 )
+
+    def check_ledger(self, ledger: "WriteLedger") -> None:
+        """Write-attribution conservation: per-cause sums == physical totals.
+
+        The ledger is charged at the exact sites that increment
+        :class:`~repro.flash.stats.FlashStats`, so any drift between the
+        per-cause breakdown and the chips' own counters means an
+        attribution path was missed or double-counted.
+        """
+        errors = ledger.conservation_errors()
+        if errors:
+            _fail("sanitize: write-ledger conservation broken — " + "; ".join(errors))
 
     def check_delta_slots(
         self, page: PhysicalPage, layout: "OobLayout", recorded: int

@@ -31,6 +31,12 @@ class FlashStats:
     ecc_uncorrectable_events: int = 0
     disturb_bit_flips: int = 0
 
+    @property
+    def program_ops(self) -> int:
+        """All program pulses (first-time + reprogram), the ledger's
+        physical anchor for conservation checks."""
+        return self.page_programs + self.page_reprograms
+
     def snapshot(self) -> "FlashStats":
         """Return an independent copy of the current counters."""
         return FlashStats(**{f.name: getattr(self, f.name) for f in fields(self)})

@@ -19,7 +19,13 @@ from repro.flash.page import PageState
 from repro.flash.sanitize import NULL_SANITIZER, sanitizer_from_env
 from repro.flash.stats import DeviceStats
 from repro.ftl.interface import DeviceFullError
-from repro.ftl.oob_meta import OOB_META_SIZE, pack_oob_meta, unpack_oob_meta
+from repro.ftl.oob_meta import (
+    OOB_META_SIZE,
+    has_oob_meta,
+    pack_oob_meta,
+    unpack_oob_meta,
+)
+from repro.obs.ledger import NULL_LEDGER, NULL_LIFETIMES
 from repro.obs.trace import NULL_TRACER, Span
 
 
@@ -69,6 +75,15 @@ class BlockManager:
     #: Physics sanitizer (REPRO_SANITIZE=1): full conservation/bijectivity
     #: audits after victim erases and remounts, cheap pair checks per write.
     sanitizer = NULL_SANITIZER
+
+    #: Write-attribution ledger and LBA lifetime tracker: replaced
+    #: per-instance by ``repro.obs.ledger.attach_ledger``.  The manager is
+    #: where *causes* are known — GC migrations and wear-leveling moves
+    #: are wrapped in their cause scope here, OOB metadata bytes are
+    #: shifted to ``oob_meta``, and logical write/trim events feed the
+    #: death-time histograms.
+    ledger = NULL_LEDGER
+    lifetimes = NULL_LIFETIMES
 
     def __init__(
         self,
@@ -123,6 +138,9 @@ class BlockManager:
         #: into ``_usable_offsets``).  Lives across foreground ops.
         self._bg_victim: int | None = None
         self._bg_cursor = 0
+        #: Victim picked by static wear leveling (vs. greedy): its
+        #: migrations and erase are attributed to ``wear_leveling``.
+        self._wear_victim: int | None = None
         self._m_bg_migrations = stats.metrics.counter(
             "background_gc_migrations",
             help="page migrations done by the incremental collector",
@@ -204,6 +222,11 @@ class BlockManager:
         if self._oob_meta_enabled:
             oob = self._stamp_meta(oob, lba)
         self.chip.program_page(ppn, data, oob)
+        lg = self.ledger
+        if lg.enabled and self._oob_meta_enabled:
+            # The 17-byte mapping record rode along in the same program;
+            # attribute its bytes to metadata, not the host payload.
+            lg.shift_bytes("oob_meta", OOB_META_SIZE)
         # Read the mapping only now: GC inside _allocate() may just have
         # migrated this very LBA, and the pre-allocation ppn would be stale.
         old_ppn = self.mapping.get(lba)
@@ -212,6 +235,9 @@ class BlockManager:
             self.stats.page_invalidations += 1
         self._map(lba, ppn)
         self.appends_done[ppn] = 0
+        lt = self.lifetimes
+        if lt.enabled:
+            lt.on_write(self, lba, lg.current_cause)
         sz = self.sanitizer
         if sz.enabled:
             sz.check_mapping_pair(self, lba, ppn)
@@ -239,6 +265,9 @@ class BlockManager:
             self.appends_done.pop(ppn, None)
             self.stats.page_invalidations += 1
             self.stats.trims += 1
+            lt = self.lifetimes
+            if lt.enabled:
+                lt.on_trim(self, lba)
 
     # ------------------------------------------------------------------ #
     # Remount (crash recovery)
@@ -299,6 +328,7 @@ class BlockManager:
         self._seq = max_seq + 1
         self._bg_victim = None
         self._bg_cursor = 0
+        self._wear_victim = None
         sz = self.sanitizer
         if sz.enabled:
             sz.check_block_manager(self)
@@ -479,6 +509,7 @@ class BlockManager:
         coldest = min(candidates, key=erase_of)
         if hottest - erase_of(coldest) > self.wear_leveling_gap:
             self._m_wear_moves.inc()
+            self._wear_victim = coldest
             return coldest
         return None
 
@@ -520,9 +551,28 @@ class BlockManager:
         lba = self._rmap.get(ppn)
         if lba is None:
             return False
+        lg = self.ledger
+        if not lg.enabled:
+            return self._migrate_page_inner(victim, ppn, lba)
+        with lg.cause(self._gc_cause(victim)):
+            return self._migrate_page_inner(victim, ppn, lba)
+
+    def _gc_cause(self, victim: int) -> str:
+        """Attribution cause of reclaiming ``victim``."""
+        return (
+            "wear_leveling" if victim == self._wear_victim else "gc_migration"
+        )
+
+    def _migrate_page_inner(self, victim: int, ppn: int, lba: int) -> bool:
         data, oob = self.chip.read_page_with_oob(ppn)
         new_ppn = self._allocate_no_gc()
         self.chip.program_page(new_ppn, data, oob)
+        lg = self.ledger
+        if lg.enabled and self._oob_meta_enabled and has_oob_meta(
+            oob[self._meta_off:]
+        ):
+            # The copied page carried its durable mapping record along.
+            lg.shift_bytes("oob_meta", OOB_META_SIZE)
         appends = self.appends_done.pop(ppn, 0)
         self.appends_done[new_ppn] = appends
         del self._rmap[ppn]
@@ -538,6 +588,19 @@ class BlockManager:
         self, victim: int, span: Span | None, background: bool = False
     ) -> None:
         """Erase a fully-migrated victim and return it to the free pool."""
+        lg = self.ledger
+        if not lg.enabled:
+            self._erase_victim_inner(victim, span, background)
+        else:
+            # GC's own erases must not land in the ambient host cause.
+            with lg.cause(self._gc_cause(victim)):
+                self._erase_victim_inner(victim, span, background)
+        if victim == self._wear_victim:
+            self._wear_victim = None
+
+    def _erase_victim_inner(
+        self, victim: int, span: Span | None, background: bool = False
+    ) -> None:
         try:
             self.chip.erase_block(victim)
         except BadBlockError:

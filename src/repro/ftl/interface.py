@@ -25,6 +25,15 @@ class FlashBackend(Protocol):
     ``False`` (command not supported), the storage manager then falls back
     to a whole-page write.  This mirrors the paper's split between the
     block-device IPA (Scenario 2) and native-Flash IPA (Scenario 3).
+
+    Observability contract (class attributes, not Protocol members —
+    they are defaults replaced per-instance, and adding them to the
+    runtime-checkable Protocol would change ``isinstance`` semantics):
+    every backend carries ``tracer = NULL_TRACER`` and
+    ``ledger = NULL_LEDGER`` class attributes; ``repro.obs.attach_tracer``
+    and ``repro.obs.ledger.attach_ledger`` replace them per-instance and
+    forward them down to the backend's :class:`BlockManager`\\ s and
+    chips, which do the actual charging.
     """
 
     chip: FlashChip

@@ -19,6 +19,7 @@ from repro.flash.cellmodel import slc_transition_legal
 from repro.flash.chip import FlashChip
 from repro.flash.stats import DeviceStats
 from repro.ftl.gc import BlockManager
+from repro.obs.ledger import NULL_LEDGER
 from repro.obs.trace import NULL_TRACER
 
 
@@ -32,8 +33,10 @@ class IpaFtl:
         gc_spare_blocks: As for the conventional FTL.
     """
 
-    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``
+    #: / ``repro.obs.ledger.attach_ledger``.
     tracer = NULL_TRACER
+    ledger = NULL_LEDGER
 
     def __init__(
         self,

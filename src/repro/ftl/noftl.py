@@ -30,6 +30,7 @@ from repro.flash.errors import (
 from repro.flash.stats import DeviceStats
 from repro.ftl.gc import BlockManager
 from repro.ftl.oob_meta import OOB_META_SIZE
+from repro.obs.ledger import NULL_LEDGER
 from repro.obs.trace import NULL_TRACER
 
 
@@ -56,8 +57,10 @@ class Region:
     Not constructed directly — use :meth:`NoFtlDevice.create_region`.
     """
 
-    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``
+    #: / ``repro.obs.ledger.attach_ledger``.
     tracer = NULL_TRACER
+    ledger = NULL_LEDGER
 
     def __init__(
         self,
@@ -253,6 +256,10 @@ class NoFtlDevice:
     LBAs are assigned contiguously in region-creation order; the device
     routes every call to the owning region.
     """
+
+    #: Observability: replaced per-instance by the attach helpers.
+    tracer = NULL_TRACER
+    ledger = NULL_LEDGER
 
     def __init__(
         self,

@@ -42,6 +42,16 @@ def pack_oob_meta(lba: int, seq: int) -> bytes:
     return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
 
 
+def has_oob_meta(raw: bytes) -> bool:
+    """True iff the OOB tail holds a valid (CRC-intact) mapping record.
+
+    Used by the write ledger to decide whether a migrated page's OOB
+    carries metadata bytes that should be attributed to ``oob_meta``
+    rather than the migration itself.
+    """
+    return unpack_oob_meta(raw) is not None
+
+
 def unpack_oob_meta(raw: bytes) -> tuple[int, int] | None:
     """Decode ``(lba, seq)`` from an OOB tail, or None if absent/torn.
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.flash.chip import FlashChip
 from repro.flash.stats import DeviceStats
 from repro.ftl.gc import BlockManager
+from repro.obs.ledger import NULL_LEDGER
 from repro.obs.trace import NULL_TRACER
 
 
@@ -24,8 +25,10 @@ class PageMappingFtl:
         gc_spare_blocks: Free-block low watermark triggering GC.
     """
 
-    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``
+    #: / ``repro.obs.ledger.attach_ledger``.
     tracer = NULL_TRACER
+    ledger = NULL_LEDGER
 
     def __init__(
         self,

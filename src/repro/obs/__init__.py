@@ -31,6 +31,17 @@ from repro.obs.export import (
     samples_to_csv,
     write_samples_csv,
 )
+from repro.obs.ledger import (
+    ERASE_COUNT_BUCKETS,
+    LIFETIME_BUCKETS_US,
+    LifetimeTracker,
+    NULL_LEDGER,
+    NULL_LIFETIMES,
+    WRITE_CAUSES,
+    WriteLedger,
+    attach_ledger,
+    erase_count_histogram,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_US,
     MetricsRegistry,
@@ -50,6 +61,15 @@ __all__ = [
     "ObserveConfig",
     "Observation",
     "attach_tracer",
+    "attach_ledger",
+    "WriteLedger",
+    "NULL_LEDGER",
+    "LifetimeTracker",
+    "NULL_LIFETIMES",
+    "WRITE_CAUSES",
+    "LIFETIME_BUCKETS_US",
+    "ERASE_COUNT_BUCKETS",
+    "erase_count_histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_METRIC",
@@ -79,12 +99,17 @@ class ObserveConfig:
         trace_chip_ops: Also record leaf spans for physical programs /
             reprograms (erases are always recorded).  High-volume; off
             by default.
+        trace_channel_ops: Also record per-channel scheduler events on a
+            multi-channel device (``bus_xfer`` / ``channel_op`` /
+            ``channel_read``) — the raw material of the Chrome-trace
+            timeline exporter.  High-volume; off by default.
     """
 
     sample_interval_s: float = 0.02
     trace_path: Optional[str] = None
     trace_capacity: int = 200_000
     trace_chip_ops: bool = False
+    trace_channel_ops: bool = False
 
 
 def attach_tracer(manager, tracer) -> None:
@@ -162,6 +187,12 @@ class Observation:
             bounds=DEFAULT_LATENCY_BUCKETS_US,
         )
         self._device_registries: list[MetricsRegistry] = []
+        #: Write-attribution ledger / death-time tracker / observed chip
+        #: (device).  NULL until :meth:`create` wires a live stack, so a
+        #: directly-constructed Observation stays safe to render.
+        self.ledger = NULL_LEDGER
+        self.lifetimes = NULL_LIFETIMES
+        self.chip = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -177,12 +208,56 @@ class Observation:
             clock=manager.clock, capacity=config.trace_capacity, sink=sink
         )
         tracer.trace_chip_ops = config.trace_chip_ops
+        tracer.trace_channel_ops = config.trace_channel_ops
         attach_tracer(manager, tracer)
 
         obs = cls(registry, tracer, sampler=None, config=config)  # type: ignore[arg-type]
 
         device = manager.device
         chip = device.chip
+
+        # Write-attribution ledger + death-time tracking.  The aggregate
+        # lifetime histogram is registry-owned; the per-cause members are
+        # adopted so exporters enumerate the whole labeled family.
+        ledger = WriteLedger()
+        lifetimes = LifetimeTracker(
+            manager.clock,
+            aggregate=registry.histogram(
+                "lba_lifetime_us",
+                help="simulated LBA write-to-invalidate lifetime",
+                bounds=LIFETIME_BUCKETS_US,
+            ),
+        )
+        attach_ledger(manager, ledger, lifetimes)
+        obs.ledger = ledger
+        obs.lifetimes = lifetimes
+        obs.chip = chip
+        for hist in lifetimes.by_cause.values():
+            registry.register_metric(hist)
+        for cause, record in ledger.by_cause.items():
+            for field_ in (
+                "programs", "reprograms", "partial_programs", "bytes",
+                "erases",
+            ):
+                registry.register_callback(
+                    f"wa_{field_}",
+                    (lambda r=record, f=field_: getattr(r, f)),
+                    help=f"physical {field_} attributed to this cause",
+                    kind="counter",
+                    labels={"cause": cause},
+                )
+        registry.register_callback(
+            "wear_erase_count_max",
+            (lambda c=chip: max(b.erase_count for b in c.blocks)),
+            help="most-worn block's erase count",
+            kind="gauge",
+        )
+        registry.register_callback(
+            "wear_erase_count_min",
+            (lambda c=chip: min(b.erase_count for b in c.blocks)),
+            help="least-worn block's erase count",
+            kind="gauge",
+        )
         _register_stats_views(registry, lambda: device.stats, "device_")
         _register_stats_views(registry, lambda: chip.stats, "flash_")
         _register_stats_views(registry, lambda: manager.stats, "manager_")
@@ -197,24 +272,30 @@ class Observation:
                 kind="counter",
             )
         if hasattr(chip, "channel_stats"):  # multi-channel FlashDevice
+            # Proper Prometheus label sets — channel_busy_us{channel="2"}
+            # — rather than a flattened name per channel.
             for index in range(chip.channels):
+                labels = {"channel": str(index)}
                 registry.register_callback(
-                    f"channel{index}_queue_depth",
+                    "channel_queue_depth",
                     (lambda d=chip, i=index: d.queue_depth_of(i)),
-                    help=f"in-flight array ops on channel {index}",
+                    help="in-flight array ops per channel",
                     kind="gauge",
+                    labels=labels,
                 )
                 registry.register_callback(
-                    f"channel{index}_busy_us",
+                    "channel_busy_us",
                     (lambda d=chip, i=index: d.channel_stats()[i]["busy_us"]),
-                    help=f"array time scheduled on channel {index}",
+                    help="array time scheduled per channel",
                     kind="counter",
+                    labels=labels,
                 )
                 registry.register_callback(
-                    f"channel{index}_wait_us",
+                    "channel_wait_us",
                     (lambda d=chip, i=index: d.channel_stats()[i]["wait_us"]),
-                    help=f"host stalls waiting on channel {index}",
+                    help="host stalls waiting per channel",
                     kind="counter",
+                    labels=labels,
                 )
         regions = getattr(device, "regions", None)
         if regions:
@@ -285,9 +366,25 @@ class Observation:
     def export_csv(self) -> str:
         return samples_to_csv(self.sampler.samples, self.sampler.columns)
 
+    def wear_histogram(self):
+        """Per-block erase-count histogram at the current instant.
+
+        Computed on demand (wear only changes on erases, so snapshotting
+        per-export is cheaper than observing on the erase hot path).
+        None when no chip is attached.
+        """
+        if self.chip is None:
+            return None
+        return erase_count_histogram(self.chip.blocks)
+
     def export_prometheus(self, prefix: str = "repro_") -> str:
         """Run registry plus every device-level extra-counter registry."""
         parts = [registry_to_prometheus(self.registry, prefix=prefix)]
+        wear = self.wear_histogram()
+        if wear is not None:
+            wear_registry = MetricsRegistry(enabled=True)
+            wear_registry.register_metric(wear)
+            parts.append(registry_to_prometheus(wear_registry, prefix=prefix))
         seen: set[int] = set()
         for reg in self._device_registries:
             if id(reg) in seen:

@@ -43,10 +43,23 @@ def _fmt(value: float) -> str:
 
 
 def samples_to_csv(samples: Iterable[dict], columns: Sequence[str] | None = None) -> str:
-    """Render sampler rows as CSV text (header + one line per sample)."""
+    """Render sampler rows as CSV text (header + one line per sample).
+
+    When ``columns`` is not given, the header is the *union* of keys
+    across every sample in first-appearance order — a metric that first
+    appears mid-run (e.g. a collector added after sampling started) must
+    not be silently dropped just because the first row lacks it.
+    """
     rows = list(samples)
     if columns is None:
-        columns = list(rows[0].keys()) if rows else []
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    ordered.append(key)
+        columns = ordered
     out = io.StringIO()
     out.write(",".join(columns) + "\n")
     for row in rows:
@@ -63,28 +76,63 @@ def write_samples_csv(
         fh.write(samples_to_csv(samples, columns))
 
 
+def _render_labels(labels: dict | None) -> str:
+    """``{k="v",...}`` with keys sorted, or the empty string."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
 def registry_to_prometheus(
     registry: MetricsRegistry, prefix: str = "repro_"
 ) -> str:
-    """Render every registered metric in Prometheus text format."""
+    """Render every registered metric in Prometheus text format.
+
+    Labeled metrics (``metric.labels``) render as proper label sets —
+    ``repro_channel_busy_us{channel="2"}`` — rather than flattened
+    names; ``# HELP`` / ``# TYPE`` headers are emitted once per metric
+    family, however many labeled members it has.
+    """
     out = io.StringIO()
+    headered: set[str] = set()
     for metric in registry.collect():
         name = _prom_name(metric.name, prefix)
-        if metric.help:
-            out.write(f"# HELP {name} {metric.help}\n")
+        labels = getattr(metric, "labels", None)
+        label_str = _render_labels(labels)
         if isinstance(metric, Histogram):
-            out.write(f"# TYPE {name} histogram\n")
+            if name not in headered:
+                headered.add(name)
+                if metric.help:
+                    out.write(f"# HELP {name} {metric.help}\n")
+                out.write(f"# TYPE {name} histogram\n")
+            bucket_prefix = (
+                ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labels.items())
+                ) + ","
+                if labels
+                else ""
+            )
             cumulative = 0
             for bound, count in zip(metric.bounds, metric.bucket_counts):
                 cumulative += count
-                out.write(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}\n')
+                out.write(
+                    f'{name}_bucket{{{bucket_prefix}le="{_fmt(bound)}"}} '
+                    f"{cumulative}\n"
+                )
             cumulative += metric.bucket_counts[-1]
-            out.write(f'{name}_bucket{{le="+Inf"}} {cumulative}\n')
-            out.write(f"{name}_sum {_fmt(metric.sum)}\n")
-            out.write(f"{name}_count {metric.count}\n")
+            out.write(
+                f'{name}_bucket{{{bucket_prefix}le="+Inf"}} {cumulative}\n'
+            )
+            out.write(f"{name}_sum{label_str} {_fmt(metric.sum)}\n")
+            out.write(f"{name}_count{label_str} {metric.count}\n")
         elif isinstance(metric, (Counter, Gauge, CallbackMetric)):
-            out.write(f"# TYPE {name} {metric.kind}\n")
-            out.write(f"{name} {_fmt(metric.value)}\n")
+            if name not in headered:
+                headered.add(name)
+                if metric.help:
+                    out.write(f"# HELP {name} {metric.help}\n")
+                out.write(f"# TYPE {name} {metric.kind}\n")
+            out.write(f"{name}{label_str} {_fmt(metric.value)}\n")
     return out.getvalue()
 
 

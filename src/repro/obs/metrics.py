@@ -53,6 +53,8 @@ class Counter:
 
     __slots__ = ("name", "help", "_store")
     kind = "counter"
+    #: Store-backed scalars are label-free (their store key is the name).
+    labels = None
 
     def __init__(self, name: str, help: str, store: MutableMapping) -> None:
         self.name = name
@@ -76,6 +78,7 @@ class Gauge:
 
     __slots__ = ("name", "help", "_store")
     kind = "gauge"
+    labels = None
 
     def __init__(self, name: str, help: str, store: MutableMapping) -> None:
         self.name = name
@@ -101,10 +104,14 @@ class Histogram:
     """Fixed-bucket histogram (cumulative-bucket export, Prometheus style).
 
     ``bounds`` are the inclusive upper edges of the finite buckets; an
-    implicit +Inf bucket catches the rest.
+    implicit +Inf bucket catches the rest.  ``labels`` (optional) become
+    Prometheus labels on every exported series, so several histograms of
+    the same family (e.g. per-cause lifetimes) share one metric name.
     """
 
-    __slots__ = ("name", "help", "bounds", "bucket_counts", "sum", "count")
+    __slots__ = (
+        "name", "help", "bounds", "bucket_counts", "sum", "count", "labels"
+    )
     kind = "histogram"
 
     def __init__(
@@ -112,6 +119,7 @@ class Histogram:
         name: str,
         help: str,
         bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US,
+        labels: dict[str, str] | None = None,
     ) -> None:
         if list(bounds) != sorted(bounds):
             raise ValueError("histogram bounds must be sorted ascending")
@@ -121,6 +129,7 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)  # +Inf last
         self.sum = 0.0
         self.count = 0
+        self.labels = dict(labels) if labels else None
 
     def observe(self, value: float) -> None:
         # bisect_left keeps the upper edges inclusive (Prometheus ``le``).
@@ -142,7 +151,10 @@ class Histogram:
             raise ValueError("quantile must be in [0, 1]")
         if self.count == 0:
             return 0.0
-        rank = q * self.count
+        # The rank of q=0.0 is the *first* observation, not rank zero —
+        # a zero rank would satisfy ``seen >= rank`` at the first (possibly
+        # empty) bucket and report an edge no observation ever landed in.
+        rank = max(q * self.count, 1.0)
         seen = 0
         for i, n in enumerate(self.bucket_counts):
             seen += n
@@ -163,16 +175,22 @@ class CallbackMetric:
     ``FlashStats``, clock breakdown) without touching their hot paths.
     """
 
-    __slots__ = ("name", "help", "kind", "_fn")
+    __slots__ = ("name", "help", "kind", "labels", "_fn")
 
     def __init__(
-        self, name: str, help: str, fn: Callable[[], float], kind: str = "gauge"
+        self,
+        name: str,
+        help: str,
+        fn: Callable[[], float],
+        kind: str = "gauge",
+        labels: dict[str, str] | None = None,
     ) -> None:
         if kind not in ("counter", "gauge"):
             raise ValueError(f"callback metric kind must be counter/gauge, got {kind}")
         self.name = name
         self.help = help
         self.kind = kind
+        self.labels = dict(labels) if labels else None
         self._fn = fn
 
     @property
@@ -191,6 +209,7 @@ class _NullMetric:
     count = 0
     sum = 0.0
     bounds: tuple = ()
+    labels = None
 
     def inc(self, amount: float = 1) -> None:
         pass
@@ -206,6 +225,14 @@ class _NullMetric:
 
 
 NULL_METRIC = _NullMetric()
+
+
+def _registry_key(name: str, labels: dict[str, str] | None) -> str:
+    """Registry uniqueness key: the name plus any rendered labels."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
 
 
 class MetricsRegistry:
@@ -260,15 +287,37 @@ class MetricsRegistry:
         return self._get_or_create(Histogram, name, help, bounds=bounds)
 
     def register_callback(
-        self, name: str, fn: Callable[[], float], help: str = "", kind: str = "gauge"
+        self,
+        name: str,
+        fn: Callable[[], float],
+        help: str = "",
+        kind: str = "gauge",
+        labels: dict[str, str] | None = None,
     ) -> CallbackMetric:
-        """Expose an externally-stored value (dataclass counter, ...)."""
+        """Expose an externally-stored value (dataclass counter, ...).
+
+        ``labels`` lets several callbacks share one metric family
+        (``channel_busy_us{channel="2"}``); uniqueness is enforced on
+        the (name, labels) pair.
+        """
         if not self.enabled:
             return NULL_METRIC  # type: ignore[return-value]
-        if name in self._metrics:
-            raise ValueError(f"metric {name!r} already registered")
-        metric = CallbackMetric(name, help, fn, kind=kind)
-        self._metrics[name] = metric
+        key = _registry_key(name, labels)
+        if key in self._metrics:
+            raise ValueError(f"metric {key!r} already registered")
+        metric = CallbackMetric(name, help, fn, kind=kind, labels=labels)
+        self._metrics[key] = metric
+        return metric
+
+    def register_metric(self, metric) -> object:
+        """Adopt an externally-constructed metric (e.g. a labeled
+        :class:`Histogram`) so exporters enumerate it."""
+        if not self.enabled:
+            return metric
+        key = _registry_key(metric.name, getattr(metric, "labels", None))
+        if key in self._metrics:
+            raise ValueError(f"metric {key!r} already registered")
+        self._metrics[key] = metric
         return metric
 
     # ------------------------------------------------------------------ #
@@ -287,8 +336,12 @@ class MetricsRegistry:
         return iter(list(self._metrics.values()))
 
     def as_dict(self) -> dict[str, float]:
-        """Scalar snapshot: name -> current value (histograms: count)."""
-        return {m.name: m.value for m in self.collect()}
+        """Scalar snapshot: key -> current value (histograms: count).
+
+        Keys are registry keys — the metric name, plus rendered labels
+        for labeled metrics, so families do not collapse to one entry.
+        """
+        return {key: m.value for key, m in self._metrics.items()}
 
 
 #: Shared disabled registry: the default for un-observed stacks.

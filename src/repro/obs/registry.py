@@ -15,9 +15,12 @@ retired on one side only without the lint gate failing.
 
 Prefixed families created dynamically by ``Observation.create`` —
 ``device_*`` / ``flash_*`` / ``manager_*`` / ``buffer_*`` callback
-gauges, ``clock_*_us`` and the per-channel ``channel{i}_*`` mirrors —
-are derived mechanically from dataclass fields, so they cannot drift by
-hand-editing a string and are out of R3's scope.
+gauges, ``clock_*_us``, the labeled per-channel ``channel_*`` family,
+the per-cause ``wa_*`` write-attribution counters, the ``wear_*``
+gauges and the labeled per-cause ``lba_lifetime_us`` members — are
+derived mechanically (dataclass fields, ``WRITE_CAUSES``, channel
+indexes), so they cannot drift by hand-editing a string and are out of
+R3's scope; only literal factory keys are in scope.
 """
 
 from __future__ import annotations
@@ -40,4 +43,5 @@ KNOWN_METRIC_KEYS: dict[str, str] = {
     "log_page_reads": "log pages read for reconstruction/merge",
     # repro.obs.Observation
     "txn_latency_us": "simulated per-transaction latency",
+    "lba_lifetime_us": "simulated LBA write-to-invalidate lifetime",
 }

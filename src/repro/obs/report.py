@@ -8,7 +8,10 @@ only summarizes:
 * GC-stall attribution — which *transactions* paid for inline erases,
   with the host write and buffer eviction in between;
 * the transaction-latency histogram;
-* a condensed time series (GC pressure and append share over the run).
+* a condensed time series (GC pressure and append share over the run);
+* the write-amplification waterfall (per-cause program/erase/byte
+  attribution with its conservation status), the block-wear histogram
+  and the per-cause LBA death-time distribution.
 
 With ``--out DIR`` the raw artifacts (spans JSONL, samples CSV,
 Prometheus text) are written for external tooling.
@@ -24,7 +27,7 @@ from repro.obs import ObserveConfig
 from repro.obs.trace import attribute_gc_erases
 
 
-def build_config(arch: str, transactions: int):
+def build_config(arch: str, transactions: int, channels: int = 1):
     """An observed-run config under genuine GC pressure."""
     from repro.bench.harness import ExperimentConfig
     from repro.core.config import IPA_DISABLED, SCHEME_2X4
@@ -41,6 +44,7 @@ def build_config(arch: str, transactions: int):
         buffer_pages=32,
         device_utilization=0.92,
         over_provisioning=0.08,
+        channels=channels,
     )
 
 
@@ -139,6 +143,95 @@ def timeseries_table(samples, max_rows: int = 12) -> str:
     )
 
 
+def wa_waterfall_table(ledger) -> str:
+    """Write-amplification waterfall: who programmed what, per cause."""
+    total_bytes = max(ledger.totals()["bytes"], 1)
+    rows = []
+    for record in ledger.records():
+        d = record.as_dict()
+        if not any(d.values()):
+            continue
+        rows.append(
+            [
+                record.cause,
+                str(d["programs"]),
+                str(d["reprograms"]),
+                str(d["partial_programs"]),
+                str(d["erases"]),
+                f"{d['bytes']:,}",
+                f"{d['bytes'] / total_bytes:.1%}",
+            ]
+        )
+    if not rows:
+        return "No attributed writes (ledger never charged).\n"
+    errors = ledger.conservation_errors()
+    status = "conserved" if not errors else "; ".join(errors)
+    return render_table(
+        ["Cause", "Programs", "Reprograms", "Partials", "Erases",
+         "Bytes", "Bytes %"],
+        rows,
+        title=f"Write-amplification waterfall — {status}",
+    )
+
+
+def wear_table(obs) -> str:
+    """Erase-count distribution plus per-cause erase attribution."""
+    from repro.obs.ledger import erase_count_histogram
+
+    if obs.chip is None:
+        return "No chip attached; wear unknown.\n"
+    counts = [b.erase_count for b in obs.chip.blocks]
+    hist = erase_count_histogram(obs.chip.blocks)
+    rows = []
+    cumulative = 0
+    for bound, count in zip(hist.bounds, hist.bucket_counts):
+        cumulative += count
+        rows.append([f"<= {bound:,.0f}", str(count), str(cumulative)])
+    rows.append(
+        [f"> {hist.bounds[-1]:,.0f}", str(hist.bucket_counts[-1]),
+         str(hist.count)]
+    )
+    by_cause = ", ".join(
+        f"{r.cause}={r.erases}" for r in obs.ledger.records() if r.erases
+    )
+    title = (
+        f"Block wear — {len(counts)} blocks, erase count "
+        f"min={min(counts)} mean={sum(counts) / len(counts):.1f} "
+        f"max={max(counts)}"
+        + (f"; erases by cause: {by_cause}" if by_cause else "")
+    )
+    return render_table(["Erase count", "Blocks", "Cumulative"], rows,
+                        title=title)
+
+
+def death_time_table(lifetimes, aggregate) -> str:
+    """Per-cause LBA lifetime (birth on host write, death on rewrite/trim)."""
+    rows = []
+    for cause, hist in lifetimes.by_cause.items():
+        if not hist.count:
+            continue
+        rows.append(
+            [
+                cause,
+                str(hist.count),
+                f"{hist.quantile(0.5):,.0f}",
+                f"{hist.quantile(0.99):,.0f}",
+                f"{hist.mean:,.0f}",
+            ]
+        )
+    if not rows:
+        return "No page deaths observed (no LBA was rewritten or trimmed).\n"
+    title = (
+        f"LBA death times (simulated us) — {lifetimes.deaths} deaths, "
+        f"{lifetimes.live_pages} pages still live, "
+        f"aggregate p50~{aggregate.quantile(0.5):,.0f}"
+    )
+    return render_table(
+        ["Born by", "Deaths", "p50 (us)", "p99 (us)", "Mean (us)"],
+        rows, title=title,
+    )
+
+
 def render_report(result) -> str:
     obs = result.observation
     spans = obs.spans()
@@ -154,6 +247,16 @@ def render_report(result) -> str:
         "",
         timeseries_table(obs.samples),
     ]
+    if obs.ledger.enabled:
+        aggregate = obs.registry.get("lba_lifetime_us")
+        parts += [
+            "",
+            wa_waterfall_table(obs.ledger),
+            "",
+            wear_table(obs),
+            "",
+            death_time_table(obs.lifetimes, aggregate),
+        ]
     return "\n".join(parts)
 
 

@@ -34,6 +34,9 @@ Span taxonomy (see ``docs/observability.md`` for the full table):
 ``gc_collect`` one GC activation (pool refill)
 ``gc_erase``   one victim reclaim: migrations + inline erase
 ``chip_program`` / ``chip_reprogram`` / ``chip_erase``  physical ops (leaf)
+``channel_wait`` host stall on a full channel queue / busy die (leaf)
+``bus_xfer`` / ``channel_op`` / ``channel_read``  multi-channel device
+               events, recorded only with ``trace_channel_ops`` (leaf)
 =============  ==========================================================
 """
 
@@ -189,6 +192,23 @@ class Tracer:
         self._finish(span)
         return span
 
+    def record_at(
+        self, name: str, start_us: float, dur_us: float = 0.0, **attrs
+    ) -> Span:
+        """Leaf event with an *explicit* start time.
+
+        Unlike :meth:`record` (which back-dates from now), this stamps
+        an interval the caller has scheduled itself — the multi-channel
+        device uses it for array pulses that occupy a channel in the
+        host clock's *future*.
+        """
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(name, self._next_id, parent, self._txn, start_us, attrs)
+        self._next_id += 1
+        span.end_us = start_us + dur_us
+        self._finish(span)
+        return span
+
     def _finish(self, span: Span) -> None:
         if len(self.spans) == self.spans.maxlen:
             self.dropped += 1
@@ -314,6 +334,11 @@ class NullTracer:
         return _NULL_CTX
 
     def record(self, name: str, dur_us: float = 0.0, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_at(
+        self, name: str, start_us: float, dur_us: float = 0.0, **attrs
+    ) -> _NullSpan:
         return _NULL_SPAN
 
     def begin_txn(self, txn_id: int, txn_type: str) -> _NullSpan:

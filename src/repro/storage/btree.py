@@ -79,6 +79,7 @@ class BPlusTree:
         self.max_pages = max_pages
         self.value_size = value_size
         self.file_id = file_id
+        manager.register_file(file_id, "index")
         self._allocated = 0
         self.entry_count = 0
         root = self._new_page(leaf=True)  # page index 0 = the root

@@ -98,6 +98,12 @@ class BufferPool:
     #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
     tracer = NULL_TRACER
 
+    #: Why the pool is flushing right now: ``"evict"`` (replacement) or
+    #: ``"checkpoint"`` (:meth:`flush_all`).  Read by the storage
+    #: manager's ``host_write`` span so flush pressure can be split by
+    #: trigger in trace post-processing.
+    flush_reason = "evict"
+
     def __init__(
         self,
         capacity: int,
@@ -232,9 +238,13 @@ class BufferPool:
 
     def flush_all(self) -> None:
         """Write every dirty frame (checkpoint / shutdown)."""
-        for frame in list(self._frames.values()):
-            if frame.dirty:
-                self._flush(frame)
+        self.flush_reason = "checkpoint"
+        try:
+            for frame in list(self._frames.values()):
+                if frame.dirty:
+                    self._flush(frame)
+        finally:
+            self.flush_reason = "evict"
 
     def drop_all(self) -> None:
         """Discard every frame without flushing (crash simulation)."""

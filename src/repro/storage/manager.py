@@ -32,6 +32,7 @@ from repro.core.reconstruct import ReconstructionError, reconstruct
 from repro.core.tracker import ChangeTracker
 from repro.flash.latency import HostCostModel
 from repro.ftl.interface import FlashBackend
+from repro.obs.ledger import NULL_LEDGER
 from repro.obs.trace import NULL_TRACER
 from repro.storage.buffer import BufferPool, Frame
 from repro.storage.layout import PageCorruptError, SlottedPage
@@ -232,8 +233,11 @@ class StorageManager:
         replacement: Buffer replacement policy, "lru" or "clock".
     """
 
-    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``.
+    #: Observability: replaced per-instance by ``repro.obs.attach_tracer``
+    #: / ``repro.obs.ledger.attach_ledger``.  The manager is where flushes
+    #: are classified into host causes (heap vs. index pages).
     tracer = NULL_TRACER
+    ledger = NULL_LEDGER
 
     def __init__(
         self,
@@ -257,6 +261,11 @@ class StorageManager:
         )
         self._next_lsn = 1
         self._next_file_lba = 0
+        #: file_id -> "heap" | "index": how flushed pages are classified
+        #: into write-attribution causes (heap/index registrations come
+        #: from :class:`~repro.storage.heap.HeapFile` and
+        #: :class:`~repro.storage.btree.BPlusTree` constructors).
+        self.file_kinds: dict[int, str] = {}
         #: Optional write-ahead log (see :mod:`repro.engine.wal`): when
         #: attached, every update operation and page format is logged.
         self.wal = None
@@ -465,9 +474,22 @@ class StorageManager:
             f"reconstructs to a valid page"
         )
 
+    def register_file(self, file_id: int, kind: str) -> None:
+        """Classify a file's pages for write attribution ("heap"/"index")."""
+        self.file_kinds[file_id] = kind
+
     def _flush(self, frame: Frame) -> None:
         # Account net change before the policy resets the tracker.
         self.stats.net_bytes_updated += len(frame.tracker.net_changed_offsets)
+        lg = self.ledger
+        if not lg.enabled:
+            self._flush_inner(frame)
+            return
+        kind = self.file_kinds.get(frame.page.file_id)
+        with lg.cause("host_index" if kind == "index" else "host_heap"):
+            self._flush_inner(frame)
+
+    def _flush_inner(self, frame: Frame) -> None:
         tr = self.tracer
         if not tr.enabled:
             self.policy.flush(self, frame)
@@ -475,6 +497,11 @@ class StorageManager:
             # The host-side write: any GC the device performs underneath
             # (gc_collect / gc_erase spans) nests under this span, which
             # is how erase stalls are attributed back to transactions.
-            with tr.span("host_write", lba=frame.lba, policy=self.policy.name):
+            with tr.span(
+                "host_write",
+                lba=frame.lba,
+                policy=self.policy.name,
+                reason=self.pool.flush_reason,
+            ):
                 self.policy.flush(self, frame)
         frame.dirty = False

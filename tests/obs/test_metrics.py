@@ -77,6 +77,41 @@ class TestHistogram:
         hist = MetricsRegistry().histogram("lat", bounds=(1, 2))
         assert hist.quantile(0.99) == 0.0
 
+    def test_quantile_zero_is_first_observation(self):
+        # q=0.0 must land in the bucket of the *first* observation, not
+        # in a leading empty bucket (the rank-0 off-by-one).
+        hist = MetricsRegistry().histogram("lat", bounds=(10, 100, 1000))
+        hist.observe(50)
+        assert hist.quantile(0.0) == 100
+        assert hist.quantile(1.0) == 100
+
+    def test_quantile_single_observation_all_q_agree(self):
+        hist = MetricsRegistry().histogram("lat", bounds=(10, 100))
+        hist.observe(7)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 10
+
+    def test_quantile_all_overflow(self):
+        hist = MetricsRegistry().histogram("lat", bounds=(10, 100))
+        hist.observe(5_000)
+        hist.observe(6_000)
+        assert hist.quantile(0.0) == float("inf")
+        assert hist.quantile(0.5) == float("inf")
+        assert hist.quantile(1.0) == float("inf")
+
+    def test_quantile_out_of_range_rejected(self):
+        hist = MetricsRegistry().histogram("lat", bounds=(10,))
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+    def test_unsorted_bounds_rejected(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram("lat", "", bounds=(100, 10))
+
     def test_default_bounds_sorted(self):
         assert list(DEFAULT_LATENCY_BUCKETS_US) == sorted(
             DEFAULT_LATENCY_BUCKETS_US
@@ -98,6 +133,39 @@ class TestCallbacks:
         registry.register_callback("x", lambda: 0)
         with pytest.raises(ValueError):
             registry.register_callback("x", lambda: 1)
+
+
+class TestLabels:
+    def test_labeled_callbacks_share_a_family(self):
+        registry = MetricsRegistry()
+        registry.register_callback(
+            "channel_busy_us", lambda: 10.0, labels={"channel": "0"}
+        )
+        registry.register_callback(
+            "channel_busy_us", lambda: 20.0, labels={"channel": "1"}
+        )
+        out = registry.as_dict()
+        assert out['channel_busy_us{channel="0"}'] == 10.0
+        assert out['channel_busy_us{channel="1"}'] == 20.0
+
+    def test_duplicate_label_set_rejected(self):
+        registry = MetricsRegistry()
+        registry.register_callback("x", lambda: 0, labels={"c": "0"})
+        with pytest.raises(ValueError):
+            registry.register_callback("x", lambda: 1, labels={"c": "0"})
+
+    def test_register_metric_adopts_labeled_histogram(self):
+        from repro.obs.metrics import Histogram
+
+        registry = MetricsRegistry()
+        hist = Histogram("life", "", bounds=(10,), labels={"cause": "wal"})
+        assert registry.register_metric(hist) is hist
+        hist.observe(3)
+        assert registry.as_dict()['life{cause="wal"}'] == 1
+        with pytest.raises(ValueError):
+            registry.register_metric(
+                Histogram("life", "", bounds=(10,), labels={"cause": "wal"})
+            )
 
 
 class TestDisabledRegistry:

@@ -94,6 +94,33 @@ class TestCsv:
         text = samples_to_csv([{"a": 1}], columns=["a", "b"])
         assert text.splitlines()[1] == "1,"
 
+    def test_column_appearing_mid_run_not_dropped(self):
+        # A collector added after sampling started must still get a
+        # column (union of keys, first-appearance order) — not be
+        # silently truncated to the first row's keys.
+        samples = [
+            {"t_s": 0.0, "ops": 1},
+            {"t_s": 1.0, "ops": 2, "depth": 7},
+            {"t_s": 2.0, "ops": 3, "depth": 8},
+        ]
+        lines = samples_to_csv(samples).strip().splitlines()
+        assert lines[0] == "t_s,ops,depth"
+        assert lines[1] == "0,1,"      # early row: empty cell, not a shift
+        assert lines[2] == "1,2,7"
+        assert lines[3] == "2,3,8"
+
+    def test_mid_run_column_via_sampler(self):
+        sampler, clock, state = make_sampler(rates=())
+        sampler.sample_now()
+        sampler.add_collector("late", lambda: 42)
+        clock.advance(10_000.0)
+        sampler.sample_now()
+        text = samples_to_csv(sampler.samples)
+        lines = text.strip().splitlines()
+        assert lines[0].split(",") == ["t_s", "ops", "late"]
+        assert lines[1].endswith(",")
+        assert lines[2].endswith(",42")
+
 
 class TestPrometheus:
     def build_registry(self):
@@ -146,3 +173,48 @@ class TestPrometheus:
         from repro.obs.metrics import NULL_REGISTRY
 
         assert registry_to_prometheus(NULL_REGISTRY) == ""
+
+
+class TestPrometheusLabels:
+    def build_labeled_registry(self):
+        from repro.obs.metrics import Histogram
+
+        registry = MetricsRegistry()
+        for channel, busy in ((0, 10.0), (2, 184.0)):
+            registry.register_callback(
+                "channel_busy_us",
+                lambda busy=busy: busy,
+                help="channel busy time",
+                kind="counter",
+                labels={"channel": str(channel)},
+            )
+        hist = Histogram(
+            "lba_lifetime_us", "lifetime", bounds=(100.0, 1000.0),
+            labels={"cause": "host_heap"},
+        )
+        for value in (50, 500, 5000):
+            hist.observe(value)
+        registry.register_metric(hist)
+        return registry
+
+    def test_labeled_samples_round_trip(self):
+        text = registry_to_prometheus(self.build_labeled_registry())
+        parsed = parse_prometheus(text)
+        assert parsed['repro_channel_busy_us{channel="0"}'] == 10.0
+        assert parsed['repro_channel_busy_us{channel="2"}'] == 184.0
+
+    def test_help_type_once_per_family(self):
+        text = registry_to_prometheus(self.build_labeled_registry())
+        assert text.count("# HELP repro_channel_busy_us") == 1
+        assert text.count("# TYPE repro_channel_busy_us") == 1
+
+    def test_labeled_histogram_series(self):
+        text = registry_to_prometheus(self.build_labeled_registry())
+        parsed = parse_prometheus(text)
+        key = 'repro_lba_lifetime_us_bucket{cause="host_heap",le="100"}'
+        assert parsed[key] == 1
+        assert parsed[
+            'repro_lba_lifetime_us_bucket{cause="host_heap",le="+Inf"}'
+        ] == 3
+        assert parsed['repro_lba_lifetime_us_sum{cause="host_heap"}'] == 5550
+        assert parsed['repro_lba_lifetime_us_count{cause="host_heap"}'] == 3

@@ -1,7 +1,10 @@
 """The ``python -m repro`` command-line front door."""
 
 import io
+import json
 from contextlib import redirect_stdout
+
+import pytest
 
 from repro.__main__ import main
 
@@ -38,3 +41,40 @@ class TestCli:
         code, out = run_cli("fig2")
         assert code == 0
         assert "ISPP" in out
+
+
+class TestObsTimeline:
+    def test_missing_out_path_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli("obs", "timeline")
+
+    def test_writes_valid_chrome_trace(self, tmp_path):
+        out = tmp_path / "timeline.json"
+        code, text = run_cli(
+            "obs", "timeline", str(out),
+            "--transactions", "120", "--channels", "4",
+        )
+        assert code == 0
+        assert "events written" in text
+
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        assert events, "trace must not be empty"
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            assert event["pid"] == 1
+        # One track per channel: a 4-channel run must put channel_op /
+        # channel_read events on at least two distinct channel tids.
+        channel_tids = {
+            e["tid"] for e in events
+            if e["ph"] == "X" and e["name"] in ("channel_op", "channel_read")
+        }
+        assert len(channel_tids) >= 2
+        # Metadata names the host track and each populated channel track.
+        names = {
+            (e["tid"], e["args"]["name"])
+            for e in events if e.get("name") == "thread_name"
+        }
+        assert (0, "host") in names
+        for tid in channel_tids:
+            assert (tid, f"channel {tid - 2}") in names
