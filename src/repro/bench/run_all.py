@@ -4,13 +4,21 @@ Usage::
 
     python -m repro.bench.run_all            # full settings (~3-5 min)
     python -m repro.bench.run_all --fast     # CI-scale settings (~1 min)
+    python -m repro.bench.run_all --jobs 0   # shard sections across all cores
     python -m repro.bench.run_all --out EXPERIMENTS.md
+
+``--jobs N`` runs the report sections in N worker processes (``0`` =
+all cores, default ``1`` = serial); it composes with ``--fast``.  Every
+section is self-seeded, so the report is byte-identical at any job
+count — parallelism only changes host wall-clock (see
+``repro.bench.parallel`` for the determinism contract).
 """
 
 from __future__ import annotations
 
 import argparse
 import io
+import sys
 from contextlib import redirect_stdout
 
 from repro.bench import (
@@ -27,171 +35,229 @@ from repro.bench import (
     update_size_analysis,
     ycsb_mixes,
 )
+from repro.bench.parallel import parallel_map
 from repro.bench.table1 import Table1Settings
 
+#: One report section: (title, body text, paper-reference note).
+Section = tuple[str, str, str]
 
-def _capture(fn) -> str:
+
+def _capture(title: str, fn):
+    """Run one section with its stdout captured.
+
+    Returns ``(result, captured_stdout)``.  If the section raises, the
+    partial stdout it produced is *not* discarded: it is attached to the
+    exception (``exc.section`` / ``exc.partial_stdout``) and echoed to
+    stderr together with the failing section's name, then the exception
+    propagates.
+    """
     buffer = io.StringIO()
-    with redirect_stdout(buffer):
-        fn()
-    return buffer.getvalue().rstrip()
+    try:
+        with redirect_stdout(buffer):
+            result = fn()
+    except BaseException as exc:
+        partial = buffer.getvalue().rstrip()
+        exc.section = title  # type: ignore[attr-defined]
+        exc.partial_stdout = partial  # type: ignore[attr-defined]
+        print(f"section failed: {title}", file=sys.stderr)
+        if partial:
+            print(f"--- partial output of {title} ---", file=sys.stderr)
+            print(partial, file=sys.stderr)
+        raise
+    return result, buffer.getvalue().rstrip()
 
 
-def generate(fast: bool = False) -> str:
-    """Run everything; return the EXPERIMENTS.md body."""
-    txns = 2500 if fast else 6000
-    sections: list[tuple[str, str, str]] = []
+# ---------------------------------------------------------------------------
+# Sections.  Module-level functions (not closures) so that --jobs can ship
+# them to worker processes by name; each takes only `fast` and returns a
+# finished Section, making it an independently schedulable unit of work.
+# ---------------------------------------------------------------------------
 
-    # E1 — Table 1.
+
+def _section_table1(fast: bool) -> Section:
     settings = Table1Settings(duration_s=4.0 if fast else 12.0)
-    results = table1.run(settings)
-    sections.append(
-        (
-            "E1 — Table 1 (TPC-B: [0x0] vs [2x4] pSLC vs [2x4] odd-MLC)",
-            table1.report(results),
-            "Paper: TPS 260 / 380 (+46%) / 313 (+20%); host reads +47%/+29%; "
-            "host writes +50%/+17%; migrations/write -83%/-55%; "
-            "erases/write -69%/-59%.",
-        )
+    return (
+        "E1 — Table 1 (TPC-B: [0x0] vs [2x4] pSLC vs [2x4] odd-MLC)",
+        table1.report(table1.run(settings)),
+        "Paper: TPS 260 / 380 (+46%) / 313 (+20%); host reads +47%/+29%; "
+        "host writes +50%/+17%; migrations/write -83%/-55%; "
+        "erases/write -69%/-59%.",
     )
 
-    # E2 — Figure 1.
-    sections.append(
-        (
-            "E2 — Figure 1 (write-amplification of one small update)",
-            fig1.report(fig1.run()),
-            "Paper: 10-byte update -> whole 8 KB page + 1-15 invalidations "
-            "traditionally; ~100-byte delta-record and no invalidation "
-            "with IPA.",
-        )
+
+def _section_fig1(fast: bool) -> Section:
+    return (
+        "E2 — Figure 1 (write-amplification of one small update)",
+        fig1.report(fig1.run()),
+        "Paper: 10-byte update -> whole 8 KB page + 1-15 invalidations "
+        "traditionally; ~100-byte delta-record and no invalidation "
+        "with IPA.",
     )
 
-    # E3 — Figure 2.
-    sections.append(
-        (
-            "E3 — Figure 2 (ISPP and the in-place programming rule)",
-            fig2_ispp.report(fig2_ispp.run()),
-            "Paper: ISPP raises charge in incremental loops; charge can only "
-            "increase without an erase.",
-        )
+
+def _section_fig2(fast: bool) -> Section:
+    return (
+        "E3 — Figure 2 (ISPP and the in-place programming rule)",
+        fig2_ispp.report(fig2_ispp.run()),
+        "Paper: ISPP raises charge in incremental loops; charge can only "
+        "increase without an erase.",
     )
 
-    # E4 — Figure 3.
-    sections.append(
-        (
-            "E4 — Figure 3 (page format and delta-area sizing)",
-            fig3_layout.report(fig3_layout.run()),
-            "Paper: delta-record area = N x (1 + 3M + delta_metadata); "
-            "[2x4] is the evaluated configuration.",
-        )
+
+def _section_fig3(fast: bool) -> Section:
+    return (
+        "E4 — Figure 3 (page format and delta-area sizing)",
+        fig3_layout.report(fig3_layout.run()),
+        "Paper: delta-record area = N x (1 + 3M + delta_metadata); "
+        "[2x4] is the evaluated configuration.",
     )
 
-    # E5 — headline claims.
-    sections.append(
-        (
-            "E5 — headline claims (abstract)",
-            claims.report(claims.run(transactions=txns, fast=fast)),
-            "Paper: -67% invalidations, -80% GC overhead, +45% throughput, "
-            "2x longevity (update-intensive workloads; TPC-B is the anchor).",
-        )
+
+def _section_claims(fast: bool) -> Section:
+    txns = 2500 if fast else 6000
+    return (
+        "E5 — headline claims (abstract)",
+        claims.report(claims.run(transactions=txns, fast=fast)),
+        "Paper: -67% invalidations, -80% GC overhead, +45% throughput, "
+        "2x longevity (update-intensive workloads; TPC-B is the anchor).",
     )
 
-    # E6 — IPA vs IPL.
-    sections.append(
-        (
-            "E6 — IPA vs In-Page Logging",
-            ipa_vs_ipl.report(ipa_vs_ipl.run(transactions=txns, fast=fast)),
-            "Paper: IPA writes -23..-62%, erases -29..-74% vs IPL; IPL "
-            "roughly doubles the read load.",
-        )
+
+def _section_ipa_vs_ipl(fast: bool) -> Section:
+    txns = 2500 if fast else 6000
+    return (
+        "E6 — IPA vs In-Page Logging",
+        ipa_vs_ipl.report(ipa_vs_ipl.run(transactions=txns, fast=fast)),
+        "Paper: IPA writes -23..-62%, erases -29..-74% vs IPL; IPL "
+        "roughly doubles the read load.",
     )
 
-    # E7 — update sizes.
-    sections.append(
-        (
-            "E7 — update-size distribution (Section 1)",
-            update_size_analysis.report(
-                update_size_analysis.run(transactions=txns, fast=fast)
-            ),
-            "Paper: >70% of evicted dirty 8 KB pages modify <100 bytes; "
-            "DBMS write-amplification ~80x.",
-        )
+
+def _section_update_sizes(fast: bool) -> Section:
+    txns = 2500 if fast else 6000
+    return (
+        "E7 — update-size distribution (Section 1)",
+        update_size_analysis.report(
+            update_size_analysis.run(transactions=txns, fast=fast)
+        ),
+        "Paper: >70% of evicted dirty 8 KB pages modify <100 bytes; "
+        "DBMS write-amplification ~80x.",
     )
 
-    # E8 — MLC modes.
-    sections.append(
-        (
-            "E8 — MLC modes and program interference (Section 3)",
-            mlc_modes.report(mlc_modes.run()),
-            "Paper: IPA safe on SLC/pSLC/odd-MLC; full-MLC appends risk "
-            "program interference beyond ECC.",
-        )
+
+def _section_mlc_modes(fast: bool) -> Section:
+    return (
+        "E8 — MLC modes and program interference (Section 3)",
+        mlc_modes.report(mlc_modes.run()),
+        "Paper: IPA safe on SLC/pSLC/odd-MLC; full-MLC appends risk "
+        "program interference beyond ECC.",
     )
 
-    # A1-A3 — ablations.
-    ablation_txns = 1500 if fast else 3000
-    sections.append(
-        (
-            "A1 — N x M sweep",
-            ablations.report(
-                ablations.sweep_nxm(transactions=ablation_txns),
-                "N x M sweep (TPC-B, pSLC)",
-            ),
-            "Design ablation: delta-area budget vs in-place share.",
-        )
-    )
-    sections.append(
-        (
-            "A2 — buffer-pool sweep",
-            ablations.report(
-                ablations.sweep_buffer(transactions=ablation_txns),
-                "Buffer sweep (TPC-B, [2x4] pSLC)",
-            ),
-            "Design ablation: residency length vs conformance.",
-        )
-    )
-    sections.append(
-        (
-            "A3 — over-provisioning sweep",
-            ablations.report(
-                ablations.sweep_over_provisioning(transactions=ablation_txns),
-                "Over-provisioning sweep (TPC-B)",
-            ),
-            "Design ablation: GC pressure under both write paths.",
-        )
+
+def _section_ablation_nxm(fast: bool) -> Section:
+    txns = 1500 if fast else 3000
+    return (
+        "A1 — N x M sweep",
+        ablations.report(
+            ablations.sweep_nxm(transactions=txns), "N x M sweep (TPC-B, pSLC)"
+        ),
+        "Design ablation: delta-area budget vs in-place share.",
     )
 
-    sections.append(
-        (
-            "A4 — IPL sizing sweep (trace replay)",
-            ipl_sweep.report(
-                ipl_sweep.run(transactions=1500 if fast else 3000)
-            ),
-            "The paper's trace-replay method: one TPC-B trace through IPL "
-            "at several log-region sizes; no point matches IPA's "
-            "write+read profile.",
-        )
+
+def _section_ablation_buffer(fast: bool) -> Section:
+    txns = 1500 if fast else 3000
+    return (
+        "A2 — buffer-pool sweep",
+        ablations.report(
+            ablations.sweep_buffer(transactions=txns),
+            "Buffer sweep (TPC-B, [2x4] pSLC)",
+        ),
+        "Design ablation: residency length vs conformance.",
     )
-    sections.append(
-        (
-            "E11 (extension) — transaction tail latency",
-            tail_latency.report(
-                tail_latency.run(transactions=2000 if fast else 4000)
-            ),
-            "Beyond the paper: GC stalls live in the tail (p99/max); IPA "
-            "removes most of them.",
-        )
+
+
+def _section_ablation_op(fast: bool) -> Section:
+    txns = 1500 if fast else 3000
+    return (
+        "A3 — over-provisioning sweep",
+        ablations.report(
+            ablations.sweep_over_provisioning(transactions=txns),
+            "Over-provisioning sweep (TPC-B)",
+        ),
+        "Design ablation: GC pressure under both write paths.",
     )
-    sections.append(
-        (
-            "E10 (extension) — YCSB core mixes",
-            ycsb_mixes.report(
-                ycsb_mixes.run(transactions=1200 if fast else 2500)
-            ),
-            "Beyond the paper: YCSB rewrites whole fields, so IPA needs "
-            "M >= field width ([2x12]) before it engages.",
-        )
+
+
+def _section_ipl_sweep(fast: bool) -> Section:
+    return (
+        "A4 — IPL sizing sweep (trace replay)",
+        ipl_sweep.report(ipl_sweep.run(transactions=1500 if fast else 3000)),
+        "The paper's trace-replay method: one TPC-B trace through IPL "
+        "at several log-region sizes; no point matches IPA's "
+        "write+read profile.",
     )
+
+
+def _section_tail_latency(fast: bool) -> Section:
+    return (
+        "E11 (extension) — transaction tail latency",
+        tail_latency.report(
+            tail_latency.run(transactions=2000 if fast else 4000)
+        ),
+        "Beyond the paper: GC stalls live in the tail (p99/max); IPA "
+        "removes most of them.",
+    )
+
+
+def _section_ycsb_mixes(fast: bool) -> Section:
+    return (
+        "E10 (extension) — YCSB core mixes",
+        ycsb_mixes.report(ycsb_mixes.run(transactions=1200 if fast else 2500)),
+        "Beyond the paper: YCSB rewrites whole fields, so IPA needs "
+        "M >= field width ([2x12]) before it engages.",
+    )
+
+
+#: Report order.  Each entry is independent and self-seeded (seeds live in
+#: the section's own experiment configs), so any subset can run on any
+#: worker without changing its output.
+SECTIONS = (
+    _section_table1,
+    _section_fig1,
+    _section_fig2,
+    _section_fig3,
+    _section_claims,
+    _section_ipa_vs_ipl,
+    _section_update_sizes,
+    _section_mlc_modes,
+    _section_ablation_nxm,
+    _section_ablation_buffer,
+    _section_ablation_op,
+    _section_ipl_sweep,
+    _section_tail_latency,
+    _section_ycsb_mixes,
+)
+
+
+def _run_section(args: tuple[int, bool]) -> Section:
+    """Picklable work unit: run SECTIONS[index] under capture."""
+    index, fast = args
+    fn = SECTIONS[index]
+    title = fn.__name__.replace("_section_", "section ")
+    section, _stray = _capture(title, lambda: fn(fast))
+    return section
+
+
+def generate(fast: bool = False, jobs: int = 1) -> str:
+    """Run everything; return the EXPERIMENTS.md body.
+
+    ``jobs`` shards the sections across that many worker processes
+    (0 = all cores).  The report text is identical at any job count.
+    """
+    work = [(i, fast) for i in range(len(SECTIONS))]
+    labels = [fn.__name__.replace("_section_", "section ") for fn in SECTIONS]
+    sections = parallel_map(_run_section, work, jobs=jobs, labels=labels)
 
     parts = [
         "# EXPERIMENTS — paper vs measured",
@@ -221,9 +287,15 @@ def generate(fast: bool = False) -> str:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true", help="CI-scale run")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sections (0 = all cores; default 1)",
+    )
     parser.add_argument("--out", default=None, help="write report to file")
     args = parser.parse_args()
-    report = generate(fast=args.fast)
+    report = generate(fast=args.fast, jobs=args.jobs)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report + "\n")

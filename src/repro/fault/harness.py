@@ -313,8 +313,17 @@ class SweepResult:
         return not self.failures
 
 
+def _crash_point_job(args: "tuple[FaultBackend, int, int]") -> CrashOutcome:
+    """Picklable work unit for a parallel sweep: one crash point."""
+    backend, point, point_seed = args
+    return run_crash_point(backend, point, seed=point_seed)
+
+
 def run_sweep(
-    backend_name: "str | FaultBackend", n_points: int, seed: int = 0xFA117
+    backend_name: "str | FaultBackend",
+    n_points: int,
+    seed: int = 0xFA117,
+    jobs: int = 1,
 ) -> SweepResult:
     """Seeded random crash-point sweep over one backend.
 
@@ -323,7 +332,14 @@ def run_sweep(
     Every sampled point gets a distinct tear-cut seed derived from the
     sweep seed, so a reported failure is replayable from
     ``(backend, crash_point, seed)`` alone.
+
+    ``jobs`` shards the crash points across worker processes (0 = all
+    cores, default 1 = serial).  Each point builds its own stack from
+    its own derived seed (``seed ^ point``), so the merged
+    :class:`SweepResult` is identical at any job count.
     """
+    from repro.bench.parallel import parallel_map
+
     backend = (
         backend_name
         if isinstance(backend_name, FaultBackend)
@@ -335,9 +351,14 @@ def run_sweep(
         points = list(range(1, ops_total + 1))
     else:
         points = sorted(rng.sample(range(1, ops_total + 1), n_points))
+    outcomes = parallel_map(
+        _crash_point_job,
+        [(backend, point, seed ^ point) for point in points],
+        jobs=jobs,
+        labels=[f"{backend.name} @ op {point}" for point in points],
+    )
     result = SweepResult(backend=backend.name, ops_total=ops_total)
-    for point in points:
-        outcome = run_crash_point(backend, point, seed=seed ^ point)
+    for outcome in outcomes:
         result.points += 1
         result.torn_repairs += outcome.torn_repairs
         if not outcome.ok:

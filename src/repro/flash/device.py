@@ -48,10 +48,20 @@ media is exactly what a real multi-channel device would leave behind.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import fields as dataclass_fields
-from typing import TYPE_CHECKING, Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator, NamedTuple
 
+import numpy as np
+
+from repro.flash.batch import (
+    OP_DTYPE,
+    OP_ERASE,
+    OP_PARTIAL,
+    OP_PROGRAM,
+    OP_READ,
+    OP_REPROGRAM,
+    OpBatch,
+)
 from repro.flash.chip import FlashChip
 from repro.flash.ecc import DEFAULT_ECC, EccConfig
 from repro.flash.errors import IllegalAddressError
@@ -72,19 +82,132 @@ if TYPE_CHECKING:
 _SEED_STRIDE = 0x9E37
 
 
-class _InflightOp:
-    """One array operation occupying a channel on the simulated clock."""
+#: One scheduled array pulse: when it starts and ends on the sim clock.
+#: Undo recipes (arbitrary Python tuples, fault injection only) ride in a
+#: parallel list — only the times need vectorized arithmetic.
+EVENT_DTYPE = np.dtype([("start_us", np.float64), ("end_us", np.float64)])
 
-    __slots__ = ("start_us", "end_us", "undo")
 
-    def __init__(
-        self, start_us: float, end_us: float, undo: tuple | None
-    ) -> None:
-        self.start_us = start_us
-        self.end_us = end_us
-        #: Revert recipe for power-loss tearing; ``None`` outside fault
-        #: injection (the common case records nothing).
-        self.undo = undo
+class _InflightView(NamedTuple):
+    """Read-only snapshot of one queued pulse (scheduler introspection)."""
+
+    start_us: float
+    end_us: float
+    undo: tuple | None
+
+
+class _EventQueue:
+    """In-flight array ops of one channel as a numpy event window.
+
+    A preallocated :data:`EVENT_DTYPE` array holds the pulses as a
+    contiguous ``[head, tail)`` window (compacted to the front when the
+    buffer fills), replacing the per-pulse ``_InflightOp`` objects of the
+    earlier deque scheduler.  The layout makes the two hot aggregate
+    operations single vectorized statements — :meth:`pushback` (a read
+    slipping every queued pulse) and :meth:`drain` — while scalar probes
+    go through ``ndarray.item()`` so every float handed back to the
+    shared :class:`SimClock` is a *Python* float (the golden tests
+    compare ``repr(clock.now_us)``; leaking one ``np.float64`` into the
+    clock would change the repr of every subsequent timestamp).
+
+    End times are non-decreasing within a channel (each pulse starts no
+    earlier than its predecessor's end, and pushback shifts the whole
+    window uniformly), so draining is a prefix drop.
+    """
+
+    __slots__ = ("ev", "_start", "_end", "undo", "head", "tail")
+
+    def __init__(self, capacity: int) -> None:
+        # 2x slack so compaction triggers at most once per `capacity`
+        # pushes; the window itself never exceeds `capacity` live ops.
+        cap = 2 * capacity
+        self.ev = np.zeros(cap, dtype=EVENT_DTYPE)
+        # Persistent field views: structured-field access allocates a
+        # view object per lookup, so resolve both fields once.
+        self._start = self.ev["start_us"]
+        self._end = self.ev["end_us"]
+        self.undo: list[tuple | None] = [None] * cap
+        self.head = 0
+        self.tail = 0
+
+    def __len__(self) -> int:
+        return self.tail - self.head
+
+    def __getitem__(self, i: int) -> _InflightView:
+        """Snapshot one queued pulse (introspection / tests only)."""
+        n = self.tail - self.head
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(f"in-flight op {i} out of range [0, {n})")
+        slot = self.head + i
+        return _InflightView(
+            self._start.item(slot), self._end.item(slot), self.undo[slot]
+        )
+
+    def __iter__(self) -> Iterator[_InflightView]:
+        return (self[i] for i in range(len(self)))
+
+    def push(self, start_us: float, end_us: float, undo: tuple | None) -> None:
+        """Append a newly issued pulse at the back of the window."""
+        tail = self.tail
+        if tail == len(self.undo):
+            self._compact()
+            tail = self.tail
+        self._start[tail] = start_us
+        self._end[tail] = end_us
+        self.undo[tail] = undo
+        self.tail = tail + 1
+
+    def _compact(self) -> None:
+        h, t = self.head, self.tail
+        n = t - h
+        self._start[:n] = self._start[h:t]
+        self._end[:n] = self._end[h:t]
+        self.undo[:n] = self.undo[h:t]
+        for i in range(n, t):
+            self.undo[i] = None  # drop stale pre-image refs promptly
+        self.head = 0
+        self.tail = n
+
+    def first_start(self) -> float:
+        return self._start.item(self.head)
+
+    def first_end(self) -> float:
+        return self._end.item(self.head)
+
+    def last_end(self) -> float:
+        return self._end.item(self.tail - 1)
+
+    def drain(self, now_us: float) -> None:
+        """Drop every completed pulse (``end <= now``) off the front."""
+        h, t = self.head, self.tail
+        end = self._end
+        undo = self.undo
+        while h < t and end.item(h) <= now_us:
+            undo[h] = None
+            h += 1
+        self.head = h
+
+    def pop_newest(self) -> tuple[float, float, tuple | None]:
+        """Remove and return the most recently issued pulse."""
+        t = self.tail - 1
+        self.tail = t
+        u = self.undo[t]
+        self.undo[t] = None
+        return self._start.item(t), self._end.item(t), u
+
+    def pushback(self, delta_us: float) -> None:
+        """Slip the whole window by ``delta_us`` (vectorized)."""
+        h, t = self.head, self.tail
+        self._start[h:t] += delta_us
+        self._end[h:t] += delta_us
+
+    def clear(self) -> None:
+        for i in range(self.head, self.tail):
+            self.undo[i] = None
+        self.head = 0
+        self.tail = 0
 
 
 class _Channel:
@@ -93,11 +216,11 @@ class _Channel:
     __slots__ = ("index", "chip", "busy_until_us", "inflight", "ops",
                  "busy_us", "wait_us")
 
-    def __init__(self, index: int, chip: FlashChip) -> None:
+    def __init__(self, index: int, chip: FlashChip, queue_depth: int) -> None:
         self.index = index
         self.chip = chip
         self.busy_until_us = 0.0
-        self.inflight: deque[_InflightOp] = deque()
+        self.inflight = _EventQueue(queue_depth)
         self.ops = 0
         self.busy_us = 0.0
         self.wait_us = 0.0
@@ -205,7 +328,9 @@ class FlashDevice:
             for i in range(channels)
         ]
         self.rules = self.chips[0].rules
-        self._channels = [_Channel(i, chip) for i, chip in enumerate(self.chips)]
+        self._channels = [
+            _Channel(i, chip, queue_depth) for i, chip in enumerate(self.chips)
+        ]
         self._ppb = geometry.pages_per_block
         self._total_pages = geometry.total_pages
         self.blocks = _StripedBlocks(self.chips, geometry.blocks)
@@ -386,6 +511,78 @@ class FlashDevice:
             barrier=True,
         )
 
+    def execute_batch(
+        self, ops: np.ndarray | OpBatch, payload: bytes | None = None
+    ) -> list[bytes]:
+        """Execute a whole op batch; see :meth:`FlashChip.execute_batch`.
+
+        A single-channel non-overlapped device is bit-identical to a
+        bare chip (same clock, identity page numbering), so the batch
+        passes straight through to the chip's fast path.  A multi-channel
+        (or overlapped) device must route every op through the channel
+        scheduler to keep stall/pushback accounting exact, so it runs the
+        batch as a per-op loop — same semantics, one Python call for the
+        caller either way.
+
+        Failures carry ``batch_ops_completed`` / ``batch_results`` exactly
+        like the chip-level batch API.
+        """
+        if len(self._channels) == 1 and not self._overlap:
+            # Global ppn == local ppn when one chip holds every block.
+            return self.chips[0].execute_batch(ops, payload)
+        if isinstance(ops, OpBatch):
+            if payload is not None:
+                raise ValueError("payload must be None when passing an OpBatch")
+            rows = ops._rows
+            heap: memoryview = memoryview(ops._payload)
+        else:
+            if ops.dtype.names != OP_DTYPE.names:
+                raise ValueError(
+                    f"ops must be an OP_DTYPE structured array, got {ops.dtype}"
+                )
+            rows = ops.tolist()
+            heap = memoryview(payload if payload is not None else b"")
+        out: list[bytes] = []
+        index = 0
+        try:
+            for index, (
+                kind,
+                target,
+                offset,
+                dpos,
+                dlen,
+                ooff,
+                opos,
+                olen,
+            ) in enumerate(rows):
+                if kind == OP_READ:
+                    out.append(self.read_page(target))
+                    continue
+                if kind == OP_ERASE:
+                    self.erase_block(target)
+                    continue
+                data = bytes(heap[dpos : dpos + dlen]) if dlen >= 0 else b""
+                oob = bytes(heap[opos : opos + olen]) if olen >= 0 else None
+                if kind == OP_PROGRAM:
+                    self.program_page(target, data, oob)
+                elif kind == OP_REPROGRAM:
+                    self.reprogram_page(target, data, oob)
+                elif kind == OP_PARTIAL:
+                    self.partial_program(
+                        target,
+                        offset,
+                        data,
+                        None if ooff < 0 else ooff,
+                        oob,
+                    )
+                else:
+                    raise ValueError(f"unknown op code {kind}")
+        except Exception as exc:
+            exc.batch_ops_completed = index  # type: ignore[attr-defined]
+            exc.batch_results = out  # type: ignore[attr-defined]
+            raise
+        return out
+
     def quiesce(self) -> None:
         """Drop all scheduling state: queues empty, channels idle *now*.
 
@@ -420,12 +617,11 @@ class FlashDevice:
         injector = self._fault_injector
         now = self.clock.now_us
         for channel in self._channels:
-            while channel.inflight:
-                op = channel.inflight.pop()
-                if op.end_us <= now or op.undo is None:
+            while len(channel.inflight):
+                start_us, end_us, undo = channel.inflight.pop_newest()
+                if end_us <= now or undo is None:
                     continue
-                self._revert(op.undo, started=op.start_us < now,
-                             injector=injector)
+                self._revert(undo, started=start_us < now, injector=injector)
             channel.busy_until_us = min(channel.busy_until_us, now)
 
     # ------------------------------------------------------------------ #
@@ -453,10 +649,7 @@ class FlashDevice:
             clock.advance(micros, category)
 
     def _drain(self, channel: _Channel) -> None:
-        now = self.clock.now_us
-        q = channel.inflight
-        while q and q[0].end_us <= now:
-            q.popleft()
+        channel.inflight.drain(self.clock.now_us)
 
     def _stall(self, channel: _Channel, until_us: float, op: str) -> None:
         wait = until_us - self.clock.now_us
@@ -481,8 +674,8 @@ class FlashDevice:
         """
         self._drain(channel)
         q = channel.inflight
-        if q and q[0].start_us < self.clock.now_us:
-            self._stall(channel, q[0].end_us, "read")
+        if len(q) and q.first_start() < self.clock.now_us:
+            self._stall(channel, q.first_end(), "read")
             self._drain(channel)
 
     def _charge_read(self, channel: _Channel, chip_clock: SimClock) -> None:
@@ -498,10 +691,8 @@ class FlashDevice:
         for category, micros in breakdown.items():
             if category != "bus":
                 array_us += micros
-        if array_us and channel.inflight:
-            for op in channel.inflight:
-                op.start_us += array_us
-                op.end_us += array_us
+        if array_us and len(channel.inflight):
+            channel.inflight.pushback(array_us)
             channel.busy_until_us += array_us
         tr = self.tracer
         if array_us and tr.enabled and getattr(tr, "trace_channel_ops", False):
@@ -535,7 +726,7 @@ class FlashDevice:
         """
         self._drain(channel)
         if len(channel.inflight) >= self.queue_depth:
-            self._stall(channel, channel.inflight[0].end_us, kind)
+            self._stall(channel, channel.inflight.first_end(), kind)
             self._drain(channel)
         undo = undo_builder() if self._fault_injector is not None else None
         clk = channel.chip.clock
@@ -555,11 +746,13 @@ class FlashDevice:
             start = channel.busy_until_us
         if barrier:
             for other in self._channels:
-                if other.inflight and other.inflight[-1].end_us > start:
-                    start = other.inflight[-1].end_us
+                if len(other.inflight):
+                    other_end = other.inflight.last_end()
+                    if other_end > start:
+                        start = other_end
         end = start + op_us
         channel.busy_until_us = end
-        channel.inflight.append(_InflightOp(start, end, undo))
+        channel.inflight.push(start, end, undo)
         channel.ops += 1
         channel.busy_us += op_us
         tr = self.tracer

@@ -118,7 +118,11 @@ class PhysicalPage:
             self._disturb_total = 0
             self._disturb_worst = 0
 
-    def program(self, data: bytes, oob: bytes | None = None) -> None:
+    def program(
+        self,
+        data: bytes | memoryview,
+        oob: bytes | memoryview | None = None,
+    ) -> None:
         """First-time program of an erased page.
 
         Raises:
@@ -136,7 +140,11 @@ class PhysicalPage:
         self.state = PageState.PROGRAMMED
         self.program_passes = 1
 
-    def reprogram(self, data: bytes, oob: bytes | None = None) -> None:
+    def reprogram(
+        self,
+        data: bytes | memoryview,
+        oob: bytes | memoryview | None = None,
+    ) -> None:
         """Overwrite without erase — legal only if no bit goes 0 -> 1.
 
         This is the physical operation behind In-Place Appends: ISPP can
@@ -330,7 +338,11 @@ class PhysicalPage:
             self._disturb_total += int(counts.sum())
             self._disturb_worst = int(self._disturb.max())
 
-    def _check_sizes(self, data: bytes, oob: bytes | None) -> None:
+    def _check_sizes(
+        self,
+        data: bytes | memoryview,
+        oob: bytes | memoryview | None,
+    ) -> None:
         if len(data) != len(self._data):
             raise ValueError(
                 f"data must be exactly {len(self._data)} bytes, got {len(data)}"

@@ -3,7 +3,7 @@
 Rules are small classes sharing one interface so the engine can drive
 them uniformly and R3 can keep cross-file state:
 
-* ``rule_id`` — "R1".."R5", used in output and ``allow[...]`` pragmas.
+* ``rule_id`` — "R1".."R6", used in output and ``allow[...]`` pragmas.
 * ``applies(module, path)`` — scope predicate (src/repro vs everywhere).
 * ``check(tree, path, module)`` — yields ``(line, col, message)``.
 * ``finish()`` — cross-file findings after the whole batch, as
@@ -508,10 +508,71 @@ class HygieneRule(Rule):
                 yield (line, col, f"unused import '{origin}'")
 
 
+class WorkerSeedRule(Rule):
+    """R6: the parallel runner's determinism contract
+    (``repro.bench.parallel``) is that serial and ``--jobs N`` runs are
+    bit-identical, which holds only if every worker's randomness is a
+    pure function of the experiment seed.  In any module that uses
+    multiprocessing, one ``os.urandom`` / ``uuid4`` / argless
+    ``SeedSequence()`` (all of which pull OS entropy) silently breaks
+    replayability, so they are banned there outright — derive worker
+    seeds with ``repro.bench.parallel.derive_seeds`` or an explicit
+    ``SeedSequence(seed).spawn(n)``.
+    """
+
+    rule_id = "R6"
+
+    BANNED_EXACT = frozenset(
+        {
+            "os.urandom",
+            "os.getrandom",
+            "uuid.uuid1",
+            "uuid.uuid4",
+        }
+    )
+
+    def applies(self, module: str | None, path: Path) -> bool:
+        return module is not None and module.startswith("repro")
+
+    def check(
+        self, tree: ast.AST, path: Path, module: str | None
+    ) -> Iterator[Finding]:
+        aliases = _import_aliases(tree)
+        uses_workers = any(
+            origin == "multiprocessing"
+            or origin.startswith(("multiprocessing.", "concurrent."))
+            for origin in aliases.values()
+        )
+        if not uses_workers:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _resolve_call(node.func, aliases)
+            if name is None:
+                continue
+            if name in self.BANNED_EXACT or name.startswith("secrets."):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"OS entropy via {name}() in multiprocessing code — "
+                    "worker randomness must derive from the experiment "
+                    "seed (repro.bench.parallel.derive_seeds)",
+                )
+            elif name == "numpy.random.SeedSequence" and not _has_args(node):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "SeedSequence() without a seed pulls OS entropy — "
+                    "spawn worker seeds from SeedSequence(experiment_seed)",
+                )
+
+
 ALL_RULES = (
     DeterminismRule,
     LayeringRule,
     CounterRegistryRule,
     ExceptionHygieneRule,
     HygieneRule,
+    WorkerSeedRule,
 )

@@ -12,6 +12,13 @@ module reproduces that method:
 2. :func:`replay_on_ipa` / :func:`replay_on_ipl` push the *same* stream
    through either device architecture, so the comparison is exact:
    identical logical workload, different storage organisation.
+
+Replay is the one workload layer where op batching applies: runs of
+consecutive fetch misses are independent reads and go through the
+device's batched ``read_many`` (one Python call per run, bit-identical
+outcomes).  The live benchmarks (tpcb / tatp / ycsb / linkbench) cannot
+batch — every transaction reads, modifies, and writes back through the
+buffer pool, so each device op depends on the previous op's result.
 """
 
 from __future__ import annotations
@@ -194,11 +201,20 @@ def replay_on_ipa(
     footer_start = trace.page_size - PAGE_FOOTER_SIZE
     delta_start = footer_start - scheme.delta_area_size
     written: set[int] = set()
+    # Consecutive fetch misses are independent reads (no mapping or media
+    # mutation between them), so they replay as one batched device call;
+    # evictions stay per-op — each one's placement depends on the device
+    # state the previous one left behind.  Outcomes are bit-identical to
+    # the per-op replay (see NoFtlDevice.read_many).
+    read_run: list[int] = []
     for event in trace.events:
         if event.kind == "miss":
             if event.lba in written:
-                device.read_page(event.lba)
+                read_run.append(event.lba)
             continue
+        if read_run:
+            device.read_many(read_run)
+            read_run.clear()
         ops = [s for s in event.op_sizes if s > 0]
         conformant = (
             event.lba in written
@@ -220,6 +236,8 @@ def replay_on_ipa(
                 continue
         device.write_page(event.lba, template)
         written.add(event.lba)
+    if read_run:
+        device.read_many(read_run)
     return ReplayResult(
         label=f"IPA {scheme} {mode.value}",
         device_stats=device.stats.snapshot(),

@@ -1,0 +1,27 @@
+"""Fixture: R6 worker-entropy violations (multiprocessing code)."""
+
+import os
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def entropy_seed() -> bytes:
+    return os.urandom(8)
+
+
+def run_id() -> str:
+    return str(uuid.uuid4())
+
+
+def unseeded_spawn():
+    return np.random.SeedSequence().spawn(4)
+
+
+def seeded_spawn_ok(seed: int):
+    return np.random.SeedSequence(seed).spawn(4)
+
+
+def pool_ok() -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=2)

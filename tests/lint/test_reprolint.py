@@ -1,4 +1,4 @@
-"""reprolint: one seeded fixture per rule R1-R4, pragma handling,
+"""reprolint: one seeded fixture per rule (R1-R4, R6), pragma handling,
 CLI exit codes, and the exit-zero-at-HEAD gate."""
 
 from __future__ import annotations
@@ -48,6 +48,22 @@ class TestFixtures:
         hit = _rules_hit(FIXTURES / "r4_broad_except.py", "repro.fixture_r4")
         # swallow() fires; reraise_ok() does not.
         assert hit.get("R4") == 1
+
+    def test_r6_worker_entropy(self):
+        hit = _rules_hit(
+            FIXTURES / "r6_worker_entropy.py", "repro.fixture_r6"
+        )
+        # os.urandom, uuid.uuid4, argless SeedSequence() — but not
+        # SeedSequence(seed) or the pool itself.
+        assert hit.get("R6") == 3
+
+    def test_r6_needs_multiprocessing_import(self, tmp_path):
+        # Same entropy calls without multiprocessing in scope: R6 is
+        # silent (R1 governs general determinism; R6 is the worker rule).
+        plain = tmp_path / "plain.py"
+        plain.write_text("import os\n\ndef f():\n    return os.urandom(8)\n")
+        found = lint_file(plain, module="repro.fixture_plain")
+        assert [v for v in found if v.rule == "R6"] == []
 
     def test_clean_fixture(self):
         assert lint_file(FIXTURES / "clean.py", module="repro.fixture_ok") == []
