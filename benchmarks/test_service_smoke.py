@@ -1,0 +1,58 @@
+"""Service-tier smoke: determinism contract + sharding must buy time.
+
+Like the channel smoke, the measured quantity is the *simulated* clock.
+Three gates, all cheap enough for CI:
+
+* two deterministic runs of the same config produce byte-identical
+  per-shard media digests (the contract the tier is built around);
+* each shard's extracted dispatch log, replayed serially, reproduces
+  that shard's digest (the replication seam really is a complete
+  description of the shard's write stream);
+* 4 shards complete the same closed-loop workload at >= 2.5x the
+  throughput of 1 shard (independent stacks must actually run in
+  parallel in virtual time — if global time serialises across shards,
+  this fails long before anyone reads a report).
+"""
+
+from repro.service import ServiceConfig, replay_shard_stream, run_service
+from repro.workloads.tpcb import TpcbWorkload
+
+SESSIONS = 16
+TXNS = 25
+
+
+def smoke_config(shards):
+    return ServiceConfig(
+        workload_factory=lambda: TpcbWorkload(
+            scale=1, accounts_per_branch=500, history_pages=64
+        ),
+        shards=shards,
+        sessions=SESSIONS,
+        txns_per_session=TXNS,
+        queue_depth=8,
+        admission_policy="wait",  # same completed work at every width
+        group_commit_size=4,
+    )
+
+
+class TestServiceSmoke:
+    def test_same_seed_byte_identical_media(self):
+        config = smoke_config(4)
+        a, b = run_service(config), run_service(config)
+        assert a.digests() == b.digests()
+        assert a.elapsed_us == b.elapsed_us
+
+    def test_dispatch_log_replays_to_same_media(self):
+        config = smoke_config(4)
+        result = run_service(config)
+        for report in result.shard_reports:
+            assert (
+                replay_shard_stream(config, report.index, report.dispatch_log)
+                == report.media_digest
+            )
+
+    def test_four_shards_beat_one(self):
+        one = run_service(smoke_config(1))
+        four = run_service(smoke_config(4))
+        assert one.txns_completed == four.txns_completed == SESSIONS * TXNS
+        assert four.tps >= 2.5 * one.tps

@@ -15,6 +15,7 @@ plus the demo runner:
     python -m repro ipl-sweep         # A4  — IPL sizing sweep
     python -m repro ycsb              # E10 — YCSB extension
     python -m repro latency           # E11 — transaction tail latency
+    python -m repro service [...]     # sharded multi-session service tier
     python -m repro obs [report] [--fast]   # observed run: spans, GC
                                             # attribution, WA waterfall
     python -m repro obs timeline out.json   # Chrome-trace/Perfetto timeline
@@ -59,6 +60,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.ycsb_mixes import main as run
     elif command == "latency":
         from repro.bench.tail_latency import main as run
+    elif command == "service":
+        from repro.bench.service_bench import main as run
     elif command == "obs":
         # Sub-commands: ``obs timeline`` / ``obs report``; bare ``obs``
         # (possibly with flags) keeps meaning the report for

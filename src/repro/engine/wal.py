@@ -171,6 +171,12 @@ class WalStats:
     commits: int = 0
     bytes_flushed: int = 0
     log_page_programs: int = 0
+    #: Device flushes that carried a whole commit *group* (the service
+    #: tier's per-shard group commit; see :meth:`WriteAheadLog.end_group`).
+    group_flushes: int = 0
+    #: Commit frames deferred into a group buffer instead of flushed
+    #: individually.
+    grouped_commits: int = 0
 
 
 class WriteAheadLog:
@@ -196,6 +202,10 @@ class WriteAheadLog:
         self.chip = chip
         self.stats = WalStats()
         self._txn_buffer: list[bytes] = []
+        #: Encoded commit frames awaiting one grouped device flush
+        #: (non-empty only between begin_group/end_group).
+        self._group_frames: list[bytes] = []
+        self._in_group = False
         self._page_index = 0
         self._page_offset = 0
         self._mount()
@@ -230,16 +240,73 @@ class WriteAheadLog:
             return
         payload = b"".join(self._txn_buffer)
         self._txn_buffer = []
-        self._append(encode_frame(payload))
+        frame = encode_frame(payload)
+        if self._in_group:
+            # Group commit (service tier): the frame is complete and
+            # CRC-framed now, but the device flush is deferred until
+            # end_group() so frames sharing a log page cost one
+            # partial-program pulse instead of one each.  The media bytes
+            # are identical either way — only op counts and commit
+            # latency change.
+            self._group_frames.append(frame)
+            self.stats.grouped_commits += 1
+        else:
+            self._append(frame)
         self.stats.commits += 1
+
+    # ------------------------------------------------------------------ #
+    # Group commit (per-shard batching in the service tier)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def in_group(self) -> bool:
+        """True between :meth:`begin_group` and :meth:`end_group`."""
+        return self._in_group
+
+    def begin_group(self) -> None:
+        """Start deferring commit frames into one grouped device flush.
+
+        Until :meth:`end_group`, every :meth:`commit` buffers its frame
+        in memory.  A transaction committed inside a group is durable
+        only once the group flushes — the standard group-commit window.
+        The storage manager keeps its no-steal set across the group (see
+        ``StorageManager.commit_wal``), so undurable pages cannot leak
+        to the data device in the meantime.
+        """
+        if self._in_group:
+            raise RuntimeError("WAL commit group already open")
+        self._in_group = True
+
+    def end_group(self) -> None:
+        """Flush the buffered group frames in one device append."""
+        if not self._in_group:
+            raise RuntimeError("no WAL commit group open")
+        self._in_group = False
+        self.flush_group()
+
+    def flush_group(self) -> None:
+        """Force any buffered group frames to the device immediately.
+
+        Safe to call mid-group (buffer-pool veto overflow does): the
+        group stays open, but everything committed so far becomes
+        durable now.
+        """
+        if not self._group_frames:
+            return
+        payload = b"".join(self._group_frames)
+        self._group_frames = []
+        self._append(payload)
+        self.stats.group_flushes += 1
 
     def discard(self) -> None:
         """Drop the current transaction's buffered records (abort)."""
         self._txn_buffer = []
 
     def crash(self) -> None:
-        """Simulate power loss on the WAL side: volatile buffer is gone."""
+        """Simulate power loss on the WAL side: volatile buffers are gone."""
         self._txn_buffer = []
+        self._group_frames = []
+        self._in_group = False
 
     def _append(self, payload: bytes) -> None:
         """Append bytes to the sequential log, page by page."""
@@ -292,6 +359,7 @@ class WriteAheadLog:
         self._page_index = 0
         self._page_offset = 0
         self._txn_buffer = []
+        self._group_frames = []
 
     def durable_frames(self) -> list[bytes]:
         """Payloads of every complete commit frame, scanned off the device.

@@ -110,7 +110,8 @@ class Histogram:
     """
 
     __slots__ = (
-        "name", "help", "bounds", "bucket_counts", "sum", "count", "labels"
+        "name", "help", "bounds", "bucket_counts", "sum", "count", "labels",
+        "nan_count",
     )
     kind = "histogram"
 
@@ -129,9 +130,16 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)  # +Inf last
         self.sum = 0.0
         self.count = 0
+        #: NaN observations rejected (NaN compares False against every
+        #: bound, so bisect would file it in an arbitrary bucket and the
+        #: running ``sum`` would poison mean/quantile forever).
+        self.nan_count = 0
         self.labels = dict(labels) if labels else None
 
     def observe(self, value: float) -> None:
+        if value != value:  # NaN: reject, but keep it countable
+            self.nan_count += 1
+            return
         # bisect_left keeps the upper edges inclusive (Prometheus ``le``).
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.sum += value
@@ -208,6 +216,7 @@ class _NullMetric:
     value = 0
     count = 0
     sum = 0.0
+    nan_count = 0
     bounds: tuple = ()
     labels = None
 

@@ -44,4 +44,14 @@ KNOWN_METRIC_KEYS: dict[str, str] = {
     # repro.obs.Observation
     "txn_latency_us": "simulated per-transaction latency",
     "lba_lifetime_us": "simulated LBA write-to-invalidate lifetime",
+    # repro.service (per-shard registries)
+    "service_txn_latency_us": "client-view latency: first attempt to completion",
+    "service_queue_wait_us": "time a request spent queued before its batch started",
+    "service_txns_completed": "transactions completed by this shard",
+    "service_group_commits": "WAL commit groups flushed",
+    "service_admission_sheds": "requests rejected at admission",
+    "service_admission_waits": "requests parked at admission",
+    "service_admission_wait_us": (
+        "total time parked requests waited for a queue slot"
+    ),
 }

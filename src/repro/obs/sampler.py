@@ -76,7 +76,12 @@ class TimeSeriesSampler:
     def sample_now(self) -> dict:
         """Take a sample unconditionally (also used for final flushes)."""
         now_us = self.clock.now_us
-        dt_s = max((now_us - self._prev_t_us) / 1e6, 1e-12)
+        # Zero-elapsed intervals happen (a forced final flush right after
+        # a periodic sample, or two explicit calls between clock
+        # advances).  A rate over them is undefined — the old 1e-12
+        # clamp turned any counter delta into a ~1e12x spike that wrecked
+        # every *_per_s column's scale — so emit 0.0 instead.
+        dt_s = (now_us - self._prev_t_us) / 1e6
         row: dict = {"t_s": now_us / 1e6}
         for name, fn in self._collectors.items():
             value = float(fn())
@@ -84,7 +89,9 @@ class TimeSeriesSampler:
             if self._rates is None or name in self._rates:
                 prev = self._prev.get(name)
                 row[f"{name}_per_s"] = (
-                    (value - prev) / dt_s if prev is not None and self.samples else 0.0
+                    (value - prev) / dt_s
+                    if prev is not None and self.samples and dt_s > 0
+                    else 0.0
                 )
             self._prev[name] = value
         self._prev_t_us = now_us

@@ -1,0 +1,37 @@
+"""Sharded multi-device service tier: the "millions of users" front door.
+
+Everything below ``repro.service`` runs one engine over one device inside
+one benchmark loop.  This package is the production-shaped layer above
+it: a front end that accepts N concurrent client sessions, hash-shards
+tenants across independent engine + FTL + flash-device stacks, batches
+and group-commits WAL frames per shard, and applies admission control
+under overload.  See ``docs/service.md`` for the architecture, the
+determinism contract, and the admission-control policy.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.config import ServiceConfig
+from repro.service.router import shard_of
+from repro.service.service import (
+    ServiceResult,
+    ShardReport,
+    ShardedService,
+    replay_shard_stream,
+    run_service,
+)
+from repro.service.session import Session
+from repro.service.shard import Shard
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ServiceConfig",
+    "ServiceResult",
+    "Session",
+    "Shard",
+    "ShardReport",
+    "ShardedService",
+    "replay_shard_stream",
+    "run_service",
+    "shard_of",
+]

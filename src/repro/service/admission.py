@@ -1,0 +1,103 @@
+"""Admission control: bounded per-shard queues with shed-or-wait.
+
+The controller is deliberately *not* thread-safe: in deterministic mode
+there is exactly one scheduler thread, and in threaded mode the shard
+worker wraps every call in the shard lock.  Keeping the policy free of
+locks keeps the two modes behaviourally identical where it matters —
+the decision function and the counters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import TYPE_CHECKING, Deque, List
+
+from repro.obs.metrics import NULL_METRIC, Counter
+
+if TYPE_CHECKING:
+    from repro.service.session import Request
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+
+class AdmissionDecision(Enum):
+    """Outcome of offering a request to a full-or-not shard queue."""
+
+    ADMITTED = "admitted"
+    SHED = "shed"
+    WAIT = "wait"
+
+
+class AdmissionController:
+    """Bounded FIFO request queue with an overload policy.
+
+    Args:
+        depth: Max queued requests (excluding any executing batch).
+        policy: ``"shed"`` or ``"wait"`` — what :meth:`offer` returns
+            when the queue is full.
+        sheds / waits / wait_us: Overload counters (registry metrics or
+            :data:`NULL_METRIC`); the controller owns incrementing the
+            first two, the scheduler credits ``wait_us`` when a parked
+            request is finally admitted.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        policy: str,
+        sheds: "Counter" = NULL_METRIC,  # type: ignore[assignment]
+        waits: "Counter" = NULL_METRIC,  # type: ignore[assignment]
+        wait_us: "Counter" = NULL_METRIC,  # type: ignore[assignment]
+    ) -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        if policy not in ("shed", "wait"):
+            raise ValueError(f"unknown admission policy {policy!r}")
+        self.depth = depth
+        self.policy = policy
+        self.queue: Deque["Request"] = deque()
+        self.sheds = sheds
+        self.waits = waits
+        self.wait_us = wait_us
+
+    def has_room(self) -> bool:
+        return len(self.queue) < self.depth
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def offer(self, request: "Request") -> AdmissionDecision:
+        """Enqueue if there is room, else apply the overload policy.
+
+        Returns the decision; on ``SHED``/``WAIT`` the request was *not*
+        queued and the matching counter was incremented — the caller
+        owns what happens next (drop + back off, or park the session).
+        """
+        if self.has_room():
+            self.queue.append(request)
+            return AdmissionDecision.ADMITTED
+        if self.policy == "shed":
+            self.sheds.inc()
+            return AdmissionDecision.SHED
+        self.waits.inc()
+        return AdmissionDecision.WAIT
+
+    def admit(self, request: "Request", waited_us: float = 0.0) -> None:
+        """Force-enqueue a previously parked request (a slot just freed).
+
+        ``waited_us`` is credited to the ``wait_us`` counter so reports
+        can separate time-in-queue from time-parked-at-the-door.
+        """
+        if not self.has_room():
+            raise RuntimeError("admit() without a free slot")
+        if waited_us:
+            self.wait_us.inc(waited_us)
+        self.queue.append(request)
+
+    def take(self, limit: int) -> List["Request"]:
+        """Dequeue up to ``limit`` requests, FIFO."""
+        batch: List["Request"] = []
+        while self.queue and len(batch) < limit:
+            batch.append(self.queue.popleft())
+        return batch

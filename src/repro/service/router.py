@@ -1,0 +1,23 @@
+"""Tenant -> shard routing.
+
+Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), so it
+would route the same tenant to different shards across runs and break
+the determinism contract.  We hash with :func:`zlib.crc32`, which is a
+pure function of the bytes on every host.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["shard_of"]
+
+
+def shard_of(tenant: int, shards: int) -> int:
+    """Stable shard index for a tenant id (same in, same out, any host)."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if tenant < 0:
+        raise ValueError("tenant must be >= 0")
+    key = tenant.to_bytes(8, "little")
+    return zlib.crc32(key) % shards

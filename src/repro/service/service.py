@@ -1,0 +1,383 @@
+"""The sharded service front end: scheduling, overload, determinism.
+
+Two scheduling modes share every policy decision (routing, admission,
+batching, group commit) and differ only in who advances time:
+
+* **deterministic** — a single-threaded virtual-time event loop.  Global
+  time is a float; batches execute on the shard's simulated clock and
+  the measured duration is mapped back onto virtual time.  Events are
+  ordered by ``(time, insertion seq)``, so a run is a pure function of
+  the config — same seed, byte-identical per-shard media.
+* **threaded** — a real concurrent front end: one worker thread per
+  shard (the stacks below the queue are single-threaded by
+  construction) and one thread per client session.  The GIL makes this
+  concurrency rather than parallelism, which is exactly what a DBMS
+  front end over a simulated device wants: real lock contention and
+  real interleaving at the admission queues, with no OS-scheduler
+  influence on the *media* beyond batch composition.  Ordering is not
+  reproducible; use deterministic mode for digests.
+
+The determinism contract (checked by ``tests/service`` and the
+``service-smoke`` CI job): two deterministic runs with the same config
+produce identical per-shard :meth:`~repro.service.shard.Shard.media_digest`
+values, and each equals the digest of replaying that shard's extracted
+dispatch log serially via :func:`replay_shard_stream`.  The dispatch log
+(ordered groups of tenant ids per shard) plus the derived session seeds
+are therefore a complete description of a shard's WAL frame stream —
+the replication seam this tier deliberately leaves open.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.parallel import derive_seeds
+from repro.service.admission import AdmissionDecision
+from repro.service.config import ServiceConfig
+from repro.service.router import shard_of
+from repro.service.session import Request, Session
+from repro.service.shard import Shard
+
+__all__ = [
+    "ServiceResult",
+    "ShardReport",
+    "ShardedService",
+    "replay_shard_stream",
+    "run_service",
+]
+
+_ISSUE = 0
+_DRAIN = 1
+
+
+def _derived_seeds(config: ServiceConfig) -> Tuple[List[int], List[int]]:
+    """(shard build seeds, session seeds) — one derivation, both paths.
+
+    The live service and :func:`replay_shard_stream` must call this same
+    function: the digest contract holds only if replay rebuilds the
+    shard and re-derives the session RNG streams from identical seeds.
+    """
+    seeds = derive_seeds(config.seed, config.shards + config.sessions)
+    return seeds[: config.shards], seeds[config.shards :]
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile (0.0 for an empty sample)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class ShardReport:
+    """Per-shard outcome: throughput, SLO latencies, overload counters."""
+
+    index: int
+    sessions: int
+    txns_completed: int
+    txns_shed: int
+    group_commits: int
+    admission_waits: int
+    admission_wait_us: float
+    p50_us: float
+    p99_us: float
+    sim_elapsed_us: float
+    media_digest: str
+    dispatch_log: List[List[int]] = field(repr=False)
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one service run (see :func:`run_service`)."""
+
+    scheduling: str
+    shards: int
+    sessions: int
+    seed: int
+    elapsed_us: float
+    txns_completed: int
+    txns_shed: int
+    tps: float
+    shard_reports: List[ShardReport]
+
+    def digests(self) -> List[str]:
+        """Per-shard media digests, in shard order."""
+        return [report.media_digest for report in self.shard_reports]
+
+
+class ShardedService:
+    """Build the shard fleet and the session population, then run."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        shard_seeds, session_seeds = _derived_seeds(config)
+        self.shards = [
+            Shard(i, config, shard_seeds[i]) for i in range(config.shards)
+        ]
+        self.sessions = [
+            Session(
+                tenant=tenant,
+                shard=shard_of(tenant, config.shards),
+                rng=np.random.default_rng(session_seeds[tenant]),
+                remaining=config.txns_per_session,
+            )
+            for tenant in range(config.sessions)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ServiceResult:
+        if self.config.scheduling == "deterministic":
+            elapsed_us = self._run_deterministic()
+        else:
+            elapsed_us = self._run_threaded()
+        return self._result(elapsed_us)
+
+    # ------------------------------------------------------------------ #
+    # Deterministic mode: virtual-time discrete-event loop
+    # ------------------------------------------------------------------ #
+
+    def _run_deterministic(self) -> float:
+        config = self.config
+        heap: List[Tuple[float, int, int, object]] = []
+        seq = 0
+
+        def push(t_us: float, kind: int, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (t_us, seq, kind, payload))
+            seq += 1
+
+        # Parked sessions per shard (wait policy): (session, first attempt).
+        waiters: Dict[int, Deque[Tuple[Session, float]]] = {
+            shard.index: deque() for shard in self.shards
+        }
+        for session in self.sessions:
+            push(0.0, _ISSUE, (session, 0.0))
+        last_completion_us = 0.0
+
+        while heap:
+            t_us, _, kind, payload = heapq.heappop(heap)
+            if kind == _ISSUE:
+                session, first_us = payload  # type: ignore[misc]
+                shard = self.shards[session.shard]
+                request = Request(session, issue_us=first_us, enqueue_us=t_us)
+                decision = shard.admission.offer(request)
+                if decision is AdmissionDecision.ADMITTED:
+                    push(max(t_us, shard.busy_until_us), _DRAIN, shard.index)
+                elif decision is AdmissionDecision.SHED:
+                    session.shed += 1
+                    session.remaining -= 1
+                    if session.remaining > 0:
+                        next_us = t_us + config.shed_backoff_us
+                        push(next_us, _ISSUE, (session, next_us))
+                else:  # WAIT: park until a drain frees a slot
+                    waiters[shard.index].append((session, t_us))
+                continue
+
+            shard_index: int = payload  # type: ignore[assignment]
+            shard = self.shards[shard_index]
+            if t_us < shard.busy_until_us:
+                # Stale: a batch ran after this drain was scheduled.  If
+                # work remains, that batch already scheduled a fresh
+                # drain at its completion time.
+                continue
+            batch = shard.admission.take(config.group_commit_size)
+            if not batch:
+                continue
+            # Queue slots freed at batch start: parked sessions enter
+            # the queue now and will ride the *next* drain.
+            parked = waiters[shard_index]
+            while parked and shard.admission.has_room():
+                waiter, first_us = parked.popleft()
+                shard.admission.admit(
+                    Request(waiter, issue_us=first_us, enqueue_us=t_us),
+                    waited_us=t_us - first_us,
+                )
+            duration_us = shard.execute_batch(batch)
+            end_us = t_us + duration_us
+            shard.busy_until_us = end_us
+            last_completion_us = max(last_completion_us, end_us)
+            for request in batch:
+                latency_us = end_us - request.issue_us
+                shard.txn_latency.observe(latency_us)
+                shard.latencies_us.append(latency_us)
+                shard.queue_wait.observe(t_us - request.enqueue_us)
+                session = request.session
+                session.completed += 1
+                session.remaining -= 1
+                if session.remaining > 0:
+                    next_us = end_us + config.think_time_us
+                    push(next_us, _ISSUE, (session, next_us))
+            if len(shard.admission):
+                push(end_us, _DRAIN, shard_index)
+        return last_completion_us
+
+    # ------------------------------------------------------------------ #
+    # Threaded mode: worker-per-shard, thread-per-session
+    # ------------------------------------------------------------------ #
+
+    def _run_threaded(self) -> float:
+        config = self.config
+        locks = [threading.Lock() for _ in self.shards]
+        not_empty = [threading.Condition(lock) for lock in locks]
+        not_full = [threading.Condition(lock) for lock in locks]
+        shutdown = [False] * len(self.shards)
+
+        def worker(shard: Shard) -> None:
+            i = shard.index
+            while True:
+                with locks[i]:
+                    while not shard.admission.queue and not shutdown[i]:
+                        not_empty[i].wait()
+                    if not shard.admission.queue:
+                        return
+                    batch = shard.admission.take(config.group_commit_size)
+                    not_full[i].notify_all()
+                start_us = shard.manager.clock.now_us
+                shard.execute_batch(batch)
+                end_us = shard.manager.clock.now_us
+                for request in batch:
+                    latency_us = end_us - request.issue_us
+                    shard.txn_latency.observe(latency_us)
+                    shard.latencies_us.append(latency_us)
+                    shard.queue_wait.observe(start_us - request.enqueue_us)
+                    assert request.done is not None
+                    request.done.set()  # type: ignore[attr-defined]
+
+        def client(session: Session) -> None:
+            i = session.shard
+            shard = self.shards[i]
+            clock = shard.manager.clock
+            while session.remaining > 0:
+                issue_us = clock.now_us
+                done = threading.Event()
+                request = Request(
+                    session, issue_us=issue_us, enqueue_us=issue_us, done=done
+                )
+                with locks[i]:
+                    decision = shard.admission.offer(request)
+                    if decision is AdmissionDecision.SHED:
+                        session.shed += 1
+                        session.remaining -= 1
+                        continue
+                    if decision is AdmissionDecision.WAIT:
+                        while not shard.admission.has_room():
+                            not_full[i].wait()
+                        now_us = clock.now_us
+                        request.enqueue_us = now_us
+                        shard.admission.admit(
+                            request, waited_us=now_us - issue_us
+                        )
+                    not_empty[i].notify()
+                done.wait()
+                session.completed += 1
+                session.remaining -= 1
+
+        workers = [
+            threading.Thread(target=worker, args=(shard,), daemon=True)
+            for shard in self.shards
+        ]
+        clients = [
+            threading.Thread(target=client, args=(session,), daemon=True)
+            for session in self.sessions
+        ]
+        for thread in workers + clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        for i, shard in enumerate(self.shards):
+            with locks[i]:
+                shutdown[i] = True
+                not_empty[i].notify_all()
+        for thread in workers:
+            thread.join()
+        return max(shard.manager.clock.now_us for shard in self.shards)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def _result(self, elapsed_us: float) -> ServiceResult:
+        reports: List[ShardReport] = []
+        total_completed = 0
+        total_shed = 0
+        for shard in self.shards:
+            completed = sum(
+                s.completed for s in self.sessions if s.shard == shard.index
+            )
+            shed = sum(s.shed for s in self.sessions if s.shard == shard.index)
+            total_completed += completed
+            total_shed += shed
+            reports.append(
+                ShardReport(
+                    index=shard.index,
+                    sessions=sum(
+                        1 for s in self.sessions if s.shard == shard.index
+                    ),
+                    txns_completed=completed,
+                    txns_shed=shed,
+                    group_commits=len(shard.dispatch_log),
+                    admission_waits=int(shard.admission.waits.value),
+                    admission_wait_us=float(shard.admission.wait_us.value),
+                    p50_us=_percentile(shard.latencies_us, 0.50),
+                    p99_us=_percentile(shard.latencies_us, 0.99),
+                    sim_elapsed_us=shard.manager.clock.now_us,
+                    media_digest=shard.media_digest(),
+                    dispatch_log=[list(g) for g in shard.dispatch_log],
+                )
+            )
+        tps = total_completed / (elapsed_us / 1e6) if elapsed_us > 0 else 0.0
+        return ServiceResult(
+            scheduling=self.config.scheduling,
+            shards=self.config.shards,
+            sessions=self.config.sessions,
+            seed=self.config.seed,
+            elapsed_us=elapsed_us,
+            txns_completed=total_completed,
+            txns_shed=total_shed,
+            tps=tps,
+            shard_reports=reports,
+        )
+
+
+def run_service(config: ServiceConfig) -> ServiceResult:
+    """Build the fleet, run the configured session population, report."""
+    return ShardedService(config).run()
+
+
+def replay_shard_stream(
+    config: ServiceConfig, shard_index: int, dispatch_log: Sequence[Sequence[int]]
+) -> str:
+    """Serially replay one shard's dispatch log; return its media digest.
+
+    Rebuilds the shard from the same derived seed, re-derives every
+    session RNG, and executes the logged tenant groups in order — each
+    group under one WAL commit group, exactly as the live service did.
+    Group boundaries matter: the no-steal LBA set is held across a
+    group, so batching changes eviction-veto decisions and therefore
+    media bytes.  Replaying the log ungrouped would NOT reproduce the
+    digest, which is precisely why the log records groups.
+    """
+    if not 0 <= shard_index < config.shards:
+        raise ValueError(f"shard_index {shard_index} out of range")
+    shard_seeds, session_seeds = _derived_seeds(config)
+    shard = Shard(shard_index, config, shard_seeds[shard_index])
+    rngs = {
+        tenant: np.random.default_rng(session_seeds[tenant])
+        for tenant in range(config.sessions)
+        if shard_of(tenant, config.shards) == shard_index
+    }
+    for group in dispatch_log:
+        shard.execute_tenant_group(group, rngs)
+    return shard.media_digest()

@@ -1,0 +1,171 @@
+"""One shard: an independent engine + FTL + flash stack plus its queue.
+
+A shard owns everything below the front end: its own simulated clock,
+flash device (optionally multi-channel with the PR 4 scheduler), storage
+manager, WAL on a dedicated log chip, database, workload schema, metrics
+registry and admission controller.  Shards share *nothing* — that is the
+whole point of hash-sharding, and it is also what makes the per-shard
+media digest a meaningful determinism contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from repro.bench.harness import ExperimentConfig, build_stack
+from repro.obs import Observation
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+from repro.service.admission import AdmissionController
+from repro.service.config import ServiceConfig
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.service.session import Request
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """A fully independent storage stack serving one hash slice.
+
+    Args:
+        index: Shard index (for labels and reports).
+        config: The service configuration (stack knobs are per-shard).
+        build_seed: Seed for this shard's schema-build RNG, derived from
+            the master seed by the caller.  The build RNG is consumed
+            entirely during construction; benchmark-phase randomness
+            comes only from the session RNGs.
+    """
+
+    def __init__(self, index: int, config: ServiceConfig, build_seed: int) -> None:
+        import numpy as np
+
+        self.index = index
+        self.config = config
+        self.workload = config.workload_factory()
+        exp = ExperimentConfig(
+            workload=self.workload,
+            architecture=config.architecture,
+            mode=config.mode,
+            scheme=config.scheme,
+            buffer_pages=config.buffer_pages,
+            channels=config.channels,
+            background_gc=config.background_gc,
+            with_wal=True,
+            seed=build_seed,
+        )
+        self.db, self.manager = build_stack(exp)
+        self.workload.build(self.db, np.random.default_rng(build_seed))
+        # Service time starts at zero: build-phase latencies are not the
+        # tier's problem (same reset the harness does before measuring).
+        self.manager.clock.reset()
+        quiesce = getattr(self.manager.device.chip, "quiesce", None)
+        if quiesce is not None:
+            quiesce()
+
+        self.observation: Optional[Observation] = None
+        if config.observe:
+            self.observation = Observation.create(self.manager, db=self.db)
+            self.metrics: MetricsRegistry = self.observation.registry
+        else:
+            self.metrics = NULL_REGISTRY
+        self.txn_latency = self.metrics.histogram(
+            "service_txn_latency_us",
+            help="client-view latency: first attempt to completion",
+            bounds=DEFAULT_LATENCY_BUCKETS_US,
+        )
+        self.queue_wait = self.metrics.histogram(
+            "service_queue_wait_us",
+            help="time a request spent queued before its batch started",
+            bounds=DEFAULT_LATENCY_BUCKETS_US,
+        )
+        self.txns_completed = self.metrics.counter(
+            "service_txns_completed", help="transactions completed by this shard"
+        )
+        self.group_commits = self.metrics.counter(
+            "service_group_commits", help="WAL commit groups flushed"
+        )
+        self.admission = AdmissionController(
+            depth=config.queue_depth,
+            policy=config.admission_policy,
+            sheds=self.metrics.counter(
+                "service_admission_sheds", help="requests rejected at admission"
+            ),
+            waits=self.metrics.counter(
+                "service_admission_waits", help="requests parked at admission"
+            ),
+            wait_us=self.metrics.counter(
+                "service_admission_wait_us",
+                help="total time parked requests waited for a queue slot",
+            ),
+        )
+        #: Dispatch log: tenant ids per executed batch, in order.  This
+        #: is the replication seam — feeding these groups (plus the
+        #: derived session RNGs) back through
+        #: :func:`repro.service.service.replay_shard_stream` reproduces
+        #: the shard's media bytes exactly.
+        self.dispatch_log: List[List[int]] = []
+        #: Raw client-view latencies (us) for exact percentiles.
+        self.latencies_us: List[float] = []
+        #: Virtual time the shard is busy until (deterministic mode).
+        self.busy_until_us: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def execute_batch(self, requests: Sequence["Request"]) -> float:
+        """Run a batch as one WAL commit group; return its duration (us).
+
+        Duration is measured on the *shard's* simulated clock; the
+        scheduler maps it onto global virtual time.  All transactions in
+        the batch become durable — and therefore complete — together, at
+        the group flush.
+        """
+        start_us = self.manager.clock.now_us
+        self.manager.begin_wal_group()
+        for request in requests:
+            session = request.session
+            self.workload.transaction(self.db, session.rng)
+        self.manager.end_wal_group()
+        self.group_commits.inc()
+        self.txns_completed.inc(len(requests))
+        self.dispatch_log.append([r.session.tenant for r in requests])
+        return self.manager.clock.now_us - start_us
+
+    def execute_tenant_group(
+        self, tenants: Iterable[int], rngs: "dict[int, np.random.Generator]"
+    ) -> None:
+        """Replay one dispatch-log group (serial stream replay path)."""
+        self.manager.begin_wal_group()
+        for tenant in tenants:
+            self.workload.transaction(self.db, rngs[tenant])
+        self.manager.end_wal_group()
+
+    # ------------------------------------------------------------------ #
+    # Determinism contract
+    # ------------------------------------------------------------------ #
+
+    def media_digest(self) -> str:
+        """SHA-256 over every physical page (data + OOB) of the shard.
+
+        Covers the data chip(s) *and* the WAL log chip, via the public
+        page accessors only — the digest is a pure function of media
+        bytes, so two runs agree iff the devices are byte-identical.
+        """
+        digest = hashlib.sha256()
+        chips = [self.manager.device.chip]
+        if self.manager.wal is not None:
+            chips.append(self.manager.wal.chip)
+        for chip in chips:
+            for ppn in range(chip.geometry.total_pages):
+                page = chip.page_at(ppn)
+                digest.update(page.raw_data())
+                digest.update(page.raw_oob())
+        return digest.hexdigest()

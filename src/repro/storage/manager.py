@@ -377,9 +377,28 @@ class StorageManager:
         directly) so the no-steal set is cleared in the same step that
         makes the transaction durable: from here on its dirty pages may
         reach the data device freely.
+
+        Inside a WAL commit *group* (``begin_wal_group``, used by the
+        sharded service tier) the frame is only buffered, so the
+        transaction is not durable yet — the no-steal set is kept and
+        released by :meth:`end_wal_group` (or by the veto-overflow hook,
+        which forces the group to flush early).
         """
         if self.wal is not None:
             self.wal.commit()
+            if self.wal.in_group:
+                return  # durable only at group flush; keep the no-steal set
+        self._txn_locked_lbas.clear()
+
+    def begin_wal_group(self) -> None:
+        """Open a commit group: subsequent commits flush together."""
+        if self.wal is not None:
+            self.wal.begin_group()
+
+    def end_wal_group(self) -> None:
+        """Flush the open commit group and release its no-steal pages."""
+        if self.wal is not None:
+            self.wal.end_group()
         self._txn_locked_lbas.clear()
 
     def abort_wal(self) -> None:
@@ -436,6 +455,10 @@ class StorageManager:
         if self.wal is None or not self._txn_locked_lbas:
             return False
         self.wal.commit()
+        if self.wal.in_group:
+            # Commits inside a group only buffer their frame; the pages
+            # are legal victims only once the bytes are on the device.
+            self.wal.flush_group()
         self._txn_locked_lbas.clear()
         self.stats.forced_wal_flushes += 1
         return True

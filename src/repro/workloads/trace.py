@@ -143,11 +143,28 @@ def record_trace(
 
 @dataclass
 class ReplayResult:
-    """Device-level outcome of replaying a trace."""
+    """Device-level outcome of replaying a trace.
+
+    The stats cover the replay phase only: pages last written during the
+    recorded run's *build* phase are pre-seeded onto the replay device
+    (see :func:`_build_phase_lbas`), and the counters are diffed against
+    a post-seeding snapshot, so seeding I/O never pollutes the replayed
+    numbers.
+    """
 
     label: str
     device_stats: DeviceStats
     flash_stats: FlashStats
+    #: "miss" events in the trace (the read stream being reproduced).
+    recorded_misses: int = 0
+    #: Misses actually issued as device reads during replay.
+    replayed_reads: int = 0
+    #: Misses dropped because the LBA was never written — zero since the
+    #: build-phase pre-seeding fix; kept as an accounting invariant
+    #: (``recorded_misses == replayed_reads + skipped_misses``).
+    skipped_misses: int = 0
+    #: Build-phase pages written to the device before replay started.
+    preseeded_pages: int = 0
 
     @property
     def physical_writes(self) -> int:
@@ -160,6 +177,29 @@ class ReplayResult:
     @property
     def flash_reads(self) -> int:
         return self.flash_stats.page_reads
+
+
+def _build_phase_lbas(trace: Trace) -> list[int]:
+    """LBAs the replay must pre-seed: read before their first in-trace write.
+
+    ``record_trace`` clears the build-phase events, so a page whose last
+    write happened during the build shows up in the benchmark stream as a
+    "miss" with no preceding "evict".  The recorded run could read it
+    (it was on the device); a replay starting from an empty device used
+    to silently skip it, undercounting ``flash_reads`` versus the
+    recorded stream.  Seeding these pages up front makes every recorded
+    miss replayable.
+    """
+    written: set[int] = set()
+    seeded: list[int] = []
+    seen: set[int] = set()
+    for event in trace.events:
+        if event.kind == "evict":
+            written.add(event.lba)
+        elif event.lba not in written and event.lba not in seen:
+            seen.add(event.lba)
+            seeded.append(event.lba)
+    return seeded
 
 
 def _page_template(page_size: int, scheme: IpaScheme) -> bytes:
@@ -201,6 +241,13 @@ def replay_on_ipa(
     footer_start = trace.page_size - PAGE_FOOTER_SIZE
     delta_start = footer_start - scheme.delta_area_size
     written: set[int] = set()
+    preseeded = _build_phase_lbas(trace)
+    for lba in preseeded:
+        device.write_page(lba, template)
+        written.add(lba)
+    device_before = device.stats.snapshot()
+    flash_before = device.chip.stats.snapshot()
+    recorded_misses = replayed_reads = skipped_misses = 0
     # Consecutive fetch misses are independent reads (no mapping or media
     # mutation between them), so they replay as one batched device call;
     # evictions stay per-op — each one's placement depends on the device
@@ -209,8 +256,12 @@ def replay_on_ipa(
     read_run: list[int] = []
     for event in trace.events:
         if event.kind == "miss":
+            recorded_misses += 1
             if event.lba in written:
+                replayed_reads += 1
                 read_run.append(event.lba)
+            else:
+                skipped_misses += 1
             continue
         if read_run:
             device.read_many(read_run)
@@ -240,8 +291,12 @@ def replay_on_ipa(
         device.read_many(read_run)
     return ReplayResult(
         label=f"IPA {scheme} {mode.value}",
-        device_stats=device.stats.snapshot(),
-        flash_stats=device.chip.stats.snapshot(),
+        device_stats=device.stats.diff(device_before),
+        flash_stats=device.chip.stats.diff(flash_before),
+        recorded_misses=recorded_misses,
+        replayed_reads=replayed_reads,
+        skipped_misses=skipped_misses,
+        preseeded_pages=len(preseeded),
     )
 
 
@@ -262,10 +317,21 @@ def replay_on_ipl(
     store = IplStore(FlashChip(geometry, mode=FlashMode.SLC), config)
     template = _page_template(trace.page_size, IPA_DISABLED)
     written: set[int] = set()
+    preseeded = _build_phase_lbas(trace)
+    for lba in preseeded:
+        store.first_write(lba, template)
+        written.add(lba)
+    device_before = store.stats.snapshot()
+    flash_before = store.chip.stats.snapshot()
+    recorded_misses = replayed_reads = skipped_misses = 0
     for event in trace.events:
         if event.kind == "miss":
+            recorded_misses += 1
             if event.lba in written:
+                replayed_reads += 1
                 store.read_page(event.lba)
+            else:
+                skipped_misses += 1
             continue
         if event.lba not in written:
             store.first_write(event.lba, template)
@@ -277,6 +343,10 @@ def replay_on_ipl(
             store.flush_log_for(event.lba)
     return ReplayResult(
         label="IPL",
-        device_stats=store.stats.snapshot(),
-        flash_stats=store.chip.stats.snapshot(),
+        device_stats=store.stats.diff(device_before),
+        flash_stats=store.chip.stats.diff(flash_before),
+        recorded_misses=recorded_misses,
+        replayed_reads=replayed_reads,
+        skipped_misses=skipped_misses,
+        preseeded_pages=len(preseeded),
     )

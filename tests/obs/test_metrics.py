@@ -4,6 +4,7 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_US,
+    Histogram,
     MetricsRegistry,
     NULL_METRIC,
     NULL_REGISTRY,
@@ -193,3 +194,37 @@ class TestDisabledRegistry:
         out = registry.as_dict()
         assert out["a"] == 2
         assert out["g"] == 7
+
+
+class TestHistogramNaN:
+    """PR 8 regression: NaN compares False against every bucket edge, so
+    bisect filed it in an arbitrary bucket and ``sum`` went NaN forever."""
+
+    def test_nan_rejected_and_counted(self):
+        h = Histogram("lat", "", bounds=(1.0, 10.0))
+        h.observe(float("nan"))
+        assert h.nan_count == 1
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert h.bucket_counts == [0, 0, 0]
+
+    def test_nan_does_not_poison_mean_or_quantile(self):
+        h = Histogram("lat", "", bounds=(1.0, 10.0))
+        h.observe(5.0)
+        h.observe(float("nan"))
+        assert h.mean == 5.0
+        assert h.quantile(0.99) == 10.0  # upper edge of 5.0's bucket
+
+    def test_nan_absent_from_export_series(self):
+        h = Histogram("lat", "", bounds=(1.0,))
+        h.observe(float("nan"))
+        h.observe(0.5)
+        # Cumulative buckets + count reflect only real observations.
+        assert h.count == 1
+        assert h.bucket_counts == [1, 0]
+        assert h.value == 1
+
+    def test_null_metric_has_nan_count(self):
+        assert NULL_METRIC.nan_count == 0
+        NULL_METRIC.observe(float("nan"))  # absorbed, still zero
+        assert NULL_METRIC.nan_count == 0

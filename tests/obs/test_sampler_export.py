@@ -218,3 +218,24 @@ class TestPrometheusLabels:
         ] == 3
         assert parsed['repro_lba_lifetime_us_sum{cause="host_heap"}'] == 5550
         assert parsed['repro_lba_lifetime_us_count{cause="host_heap"}'] == 3
+
+
+class TestZeroElapsedInterval:
+    """PR 8 regression: two samples at the same simulated instant used a
+    1e-12 s clamp, exploding a 100-op delta into a 1e14/s rate spike."""
+
+    def test_zero_dt_emits_zero_rate(self):
+        sampler, clock, state = make_sampler()
+        sampler.sample_now()
+        state["ops"] = 100
+        sampler.sample_now()  # clock did not advance
+        assert sampler.samples[-1]["ops_per_s"] == 0.0
+
+    def test_rate_resumes_after_zero_dt(self):
+        sampler, clock, state = make_sampler()
+        sampler.sample_now()
+        sampler.sample_now()  # zero-dt sample
+        state["ops"] = 50
+        clock.advance(10_000.0)  # 0.01 simulated s
+        sampler.sample_now()
+        assert sampler.samples[-1]["ops_per_s"] == pytest.approx(50 / 0.01)

@@ -1,0 +1,76 @@
+"""Admission controller: bounded queue, shed/wait policies, counters."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import AdmissionController, AdmissionDecision
+from repro.service.session import Request, Session
+
+
+def make_request(tenant=0):
+    import numpy as np
+
+    session = Session(
+        tenant=tenant, shard=0, rng=np.random.default_rng(0), remaining=1
+    )
+    return Request(session, issue_us=0.0, enqueue_us=0.0)
+
+
+def make_controller(depth=2, policy="shed"):
+    registry = MetricsRegistry()
+    ctrl = AdmissionController(
+        depth=depth,
+        policy=policy,
+        sheds=registry.counter("service_admission_sheds"),
+        waits=registry.counter("service_admission_waits"),
+        wait_us=registry.counter("service_admission_wait_us"),
+    )
+    return ctrl, registry
+
+
+class TestAdmission:
+    def test_admits_until_full(self):
+        ctrl, _ = make_controller(depth=2)
+        assert ctrl.offer(make_request()) is AdmissionDecision.ADMITTED
+        assert ctrl.offer(make_request()) is AdmissionDecision.ADMITTED
+        assert len(ctrl) == 2
+        assert not ctrl.has_room()
+
+    def test_shed_policy_rejects_and_counts(self):
+        ctrl, _ = make_controller(depth=1, policy="shed")
+        ctrl.offer(make_request())
+        assert ctrl.offer(make_request()) is AdmissionDecision.SHED
+        assert ctrl.sheds.value == 1
+        assert len(ctrl) == 1  # the shed request was not queued
+
+    def test_wait_policy_parks_and_counts(self):
+        ctrl, _ = make_controller(depth=1, policy="wait")
+        ctrl.offer(make_request())
+        assert ctrl.offer(make_request()) is AdmissionDecision.WAIT
+        assert ctrl.waits.value == 1
+        assert len(ctrl) == 1
+
+    def test_take_is_fifo(self):
+        ctrl, _ = make_controller(depth=3)
+        for tenant in (3, 1, 2):
+            ctrl.offer(make_request(tenant))
+        batch = ctrl.take(2)
+        assert [r.session.tenant for r in batch] == [3, 1]
+        assert len(ctrl) == 1
+
+    def test_admit_credits_wait_time(self):
+        ctrl, _ = make_controller(depth=1)
+        ctrl.admit(make_request(), waited_us=123.5)
+        assert ctrl.wait_us.value == 123.5
+
+    def test_admit_without_room_rejected(self):
+        ctrl, _ = make_controller(depth=1)
+        ctrl.offer(make_request())
+        with pytest.raises(RuntimeError):
+            ctrl.admit(make_request())
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(depth=0, policy="shed")
+        with pytest.raises(ValueError):
+            AdmissionController(depth=1, policy="drop-newest")

@@ -1,0 +1,226 @@
+"""Service tier: determinism contract, admission under overload, metrics."""
+
+import pytest
+
+from repro.service import (
+    ServiceConfig,
+    ShardedService,
+    replay_shard_stream,
+    run_service,
+    shard_of,
+)
+from repro.workloads.tpcb import TpcbWorkload
+
+
+def tiny_workload():
+    return TpcbWorkload(scale=1, accounts_per_branch=200, history_pages=32)
+
+
+def tiny_config(**kwargs):
+    defaults = dict(
+        workload_factory=tiny_workload,
+        shards=2,
+        sessions=6,
+        txns_per_session=6,
+        queue_depth=2,
+        group_commit_size=3,
+    )
+    defaults.update(kwargs)
+    return ServiceConfig(**defaults)
+
+
+class TestDeterminismContract:
+    def test_same_seed_same_digests(self):
+        config = tiny_config()
+        a, b = run_service(config), run_service(config)
+        assert a.digests() == b.digests()
+        assert [r.dispatch_log for r in a.shard_reports] == [
+            r.dispatch_log for r in b.shard_reports
+        ]
+        assert a.txns_completed == b.txns_completed
+        assert a.elapsed_us == b.elapsed_us
+
+    def test_serial_replay_reproduces_each_shard(self):
+        config = tiny_config()
+        result = run_service(config)
+        for report in result.shard_reports:
+            digest = replay_shard_stream(
+                config, report.index, report.dispatch_log
+            )
+            assert digest == report.media_digest
+
+    def test_different_seed_different_media(self):
+        a = run_service(tiny_config(seed=1))
+        b = run_service(tiny_config(seed=2))
+        assert a.digests() != b.digests()
+
+    def test_replay_rejects_bad_shard_index(self):
+        config = tiny_config()
+        with pytest.raises(ValueError):
+            replay_shard_stream(config, config.shards, [])
+
+
+class TestClosedLoop:
+    def test_every_txn_accounted(self):
+        config = tiny_config()
+        service = ShardedService(config)
+        result = service.run()
+        for session in service.sessions:
+            assert session.remaining == 0
+            assert (
+                session.completed + session.shed == config.txns_per_session
+            )
+        assert result.txns_completed + result.txns_shed == (
+            config.sessions * config.txns_per_session
+        )
+
+    def test_sessions_pinned_to_routed_shard(self):
+        config = tiny_config()
+        service = ShardedService(config)
+        service.run()
+        for shard in service.shards:
+            tenants = {t for group in shard.dispatch_log for t in group}
+            for tenant in tenants:
+                assert shard_of(tenant, config.shards) == shard.index
+
+    def test_batches_respect_group_commit_size(self):
+        config = tiny_config(group_commit_size=2)
+        service = ShardedService(config)
+        service.run()
+        for shard in service.shards:
+            assert shard.dispatch_log  # every shard saw work
+            assert all(len(g) <= 2 for g in shard.dispatch_log)
+
+    def test_single_shard_run(self):
+        result = run_service(tiny_config(shards=1, sessions=4))
+        assert result.shards == 1
+        assert result.txns_completed > 0
+        assert result.tps > 0
+
+
+class TestAdmissionUnderOverload:
+    def test_shed_policy_bounds_p99(self):
+        # 8 sessions hammering one shard: a depth-2 shed queue keeps the
+        # client-view p99 bounded; an effectively unbounded queue lets
+        # every request wait behind the whole backlog.
+        overload = dict(
+            workload_factory=tiny_workload,
+            shards=1,
+            sessions=8,
+            txns_per_session=6,
+            group_commit_size=2,
+            think_time_us=10.0,
+        )
+        bounded = run_service(
+            ServiceConfig(queue_depth=2, admission_policy="shed", **overload)
+        )
+        unbounded = run_service(
+            ServiceConfig(queue_depth=10_000, admission_policy="shed",
+                          **overload)
+        )
+        assert bounded.txns_shed > 0
+        assert unbounded.txns_shed == 0
+        assert (
+            bounded.shard_reports[0].p99_us
+            < unbounded.shard_reports[0].p99_us
+        )
+
+    def test_sheds_visible_in_metrics(self):
+        config = tiny_config(shards=1, sessions=8, queue_depth=1,
+                             think_time_us=0.0)
+        service = ShardedService(config)
+        result = service.run()
+        shard = service.shards[0]
+        assert result.txns_shed > 0
+        assert shard.admission.sheds.value == result.txns_shed
+        assert shard.metrics.get("service_admission_sheds") is not None
+
+    def test_wait_policy_completes_everything(self):
+        config = tiny_config(admission_policy="wait")
+        service = ShardedService(config)
+        result = service.run()
+        assert result.txns_shed == 0
+        assert result.txns_completed == (
+            config.sessions * config.txns_per_session
+        )
+        total_waits = sum(r.admission_waits for r in result.shard_reports)
+        assert total_waits >= 0  # waits occur only if a queue ever fills
+
+
+class TestObsWiring:
+    def test_latency_histograms_match_completions(self):
+        config = tiny_config()
+        service = ShardedService(config)
+        service.run()
+        for shard in service.shards:
+            completed = sum(len(g) for g in shard.dispatch_log)
+            assert shard.txn_latency.count == completed
+            assert shard.queue_wait.count == completed
+            assert shard.txns_completed.value == completed
+            assert len(shard.latencies_us) == completed
+
+    def test_ledger_attributes_shard_writes(self):
+        config = tiny_config(shards=1, sessions=3, txns_per_session=4)
+        service = ShardedService(config)
+        service.run()
+        shard = service.shards[0]
+        assert shard.observation is not None
+        by_cause = shard.observation.ledger.by_cause
+        assert by_cause["wal"].partial_programs > 0
+
+    def test_observe_off_runs_dark(self):
+        config = tiny_config(observe=False, sessions=4, txns_per_session=3)
+        service = ShardedService(config)
+        result = service.run()
+        assert service.shards[0].observation is None
+        assert result.txns_completed > 0
+
+    def test_group_commits_counted(self):
+        config = tiny_config()
+        service = ShardedService(config)
+        service.run()
+        for shard in service.shards:
+            assert shard.group_commits.value == len(shard.dispatch_log)
+            assert (
+                shard.manager.wal.stats.group_flushes
+                == len(shard.dispatch_log)
+            )
+
+
+class TestThreadedMode:
+    def test_threaded_wait_completes_everything(self):
+        config = tiny_config(scheduling="threaded", admission_policy="wait",
+                             sessions=4, txns_per_session=4)
+        result = run_service(config)
+        assert result.scheduling == "threaded"
+        assert result.txns_completed == (
+            config.sessions * config.txns_per_session
+        )
+        assert result.txns_shed == 0
+        assert len(result.digests()) == config.shards
+
+    def test_threaded_shed_accounts_all_attempts(self):
+        config = tiny_config(scheduling="threaded", sessions=6,
+                             txns_per_session=4, queue_depth=1)
+        result = run_service(config)
+        assert result.txns_completed + result.txns_shed == (
+            config.sessions * config.txns_per_session
+        )
+
+
+class TestConfigValidation:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(admission_policy="reject-oldest")
+
+    def test_bad_scheduling_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(scheduling="asyncio")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(shards=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(queue_depth=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(group_commit_size=0)

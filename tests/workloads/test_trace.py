@@ -91,3 +91,57 @@ class TestReplay:
         result = replay_on_ipa(trace, SCHEME_2X4)
         assert result.device_stats.in_place_appends == 1
         assert result.device_stats.host_reads == 1
+
+
+class TestReplayReadAccounting:
+    """PR 8 regression: recorded misses were silently dropped when the
+    replay device had never seen the LBA (build-phase pages)."""
+
+    def _assert_no_drops(self, trace, result):
+        recorded = sum(1 for e in trace.events if e.kind == "miss")
+        assert result.recorded_misses == recorded
+        assert (
+            result.recorded_misses
+            == result.replayed_reads + result.skipped_misses
+        )
+        # Pre-seeding makes every recorded miss replayable.
+        assert result.skipped_misses == 0
+        assert result.replayed_reads == recorded
+
+    def test_ipa_replays_every_recorded_miss(self):
+        trace = small_trace(400)
+        result = replay_on_ipa(trace, SCHEME_2X4)
+        self._assert_no_drops(trace, result)
+        assert result.preseeded_pages > 0
+
+    def test_ipl_replays_every_recorded_miss(self):
+        trace = small_trace(400)
+        result = replay_on_ipl(trace)
+        self._assert_no_drops(trace, result)
+        assert result.preseeded_pages > 0
+
+    def test_build_phase_miss_is_preseeded_and_read(self):
+        # A miss on an LBA never evicted inside the trace window: before
+        # the fix this read silently vanished from the replayed stream.
+        trace = Trace(page_size=2048, max_lba=7)
+        trace.events = [
+            TraceEvent(kind="miss", lba=7),
+            TraceEvent(kind="evict", lba=7, op_sizes=(2,), meta_bytes=10,
+                       net_bytes=2),
+        ]
+        result = replay_on_ipa(trace, SCHEME_2X4)
+        assert result.preseeded_pages == 1
+        assert result.recorded_misses == 1
+        assert result.replayed_reads == 1
+        assert result.skipped_misses == 0
+        assert result.device_stats.host_reads == 1
+
+    def test_preseeding_excluded_from_replay_stats(self):
+        # Stats are diffed from a post-seeding snapshot: a trace that is
+        # one read does exactly one host read, however many pages were
+        # seeded to make it servable.
+        trace = Trace(page_size=2048, max_lba=3)
+        trace.events = [TraceEvent(kind="miss", lba=3)]
+        result = replay_on_ipa(trace, SCHEME_2X4)
+        assert result.device_stats.host_reads == 1
+        assert result.device_stats.host_writes == 0
