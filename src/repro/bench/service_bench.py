@@ -9,7 +9,10 @@ contract.
 The ``service-smoke`` CI job runs this twice with the same seed and
 diffs the ``--digests`` output (byte-identical media), and once with
 ``--verify-replay`` (each shard's serially-replayed dispatch log must
-reproduce its digest).
+reproduce its digest).  With ``--replication`` every shard ships its
+WAL commit groups to a synchronous standby (``docs/replication.md``);
+``--verify-standby`` additionally asserts each standby's media digest
+equals its primary's, and the ``replication-smoke`` job gates on it.
 """
 
 from __future__ import annotations
@@ -36,10 +39,17 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--scheduling", choices=("deterministic", "threaded"),
                         default="deterministic")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--replication", action="store_true",
+                        help="attach a synchronous standby to every shard")
+    parser.add_argument("--repl-latency-us", type=float, default=50.0,
+                        help="one-way replication transport latency (us)")
     parser.add_argument("--digests", action="store_true",
                         help="print only per-shard media digests")
     parser.add_argument("--verify-replay", action="store_true",
                         help="check each shard's serial-replay digest")
+    parser.add_argument("--verify-standby", action="store_true",
+                        help="check each standby digest equals its primary "
+                             "(implies --replication)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full report as JSON")
     return parser
@@ -56,6 +66,8 @@ def main() -> None:
         group_commit_size=args.group,
         scheduling=args.scheduling,
         seed=args.seed,
+        replication=args.replication or args.verify_standby,
+        repl_latency_us=args.repl_latency_us,
     )
     result = run_service(config)
 
@@ -63,24 +75,32 @@ def main() -> None:
         for report in result.shard_reports:
             print(f"{report.index} {report.media_digest}")
     else:
+        repl = " replication=on" if config.replication else ""
         print(
             f"service: {result.shards} shard(s), {result.sessions} "
             f"session(s), scheduling={result.scheduling}, "
             f"policy={config.admission_policy}, depth={config.queue_depth}"
+            f"{repl}"
         )
         header = (
             f"{'shard':>5} {'sess':>4} {'txns':>5} {'shed':>5} {'waits':>5} "
-            f"{'groups':>6} {'p50 us':>8} {'p99 us':>8}  digest"
+            f"{'groups':>6} {'p50 us':>8} {'p99 us':>8}"
         )
-        print(header)
+        if config.replication:
+            header += f" {'acked':>6} {'lag us':>10}"
+        print(header + "  digest")
         for report in result.shard_reports:
-            print(
+            line = (
                 f"{report.index:>5} {report.sessions:>4} "
                 f"{report.txns_completed:>5} {report.txns_shed:>5} "
                 f"{report.admission_waits:>5} {report.group_commits:>6} "
-                f"{report.p50_us:>8.1f} {report.p99_us:>8.1f}  "
-                f"{report.media_digest[:16]}"
+                f"{report.p50_us:>8.1f} {report.p99_us:>8.1f}"
             )
+            if config.replication:
+                line += (
+                    f" {report.repl_groups_acked:>6} {report.repl_lag_us:>10.1f}"
+                )
+            print(line + f"  {report.media_digest[:16]}")
         print(
             f"total: {result.txns_completed} committed, "
             f"{result.txns_shed} shed, {result.elapsed_us / 1e3:.1f} ms "
@@ -99,6 +119,16 @@ def main() -> None:
                     f"shard {report.index}: serial replay digest mismatch"
                 )
         print(f"serial replay verified for {result.shards} shard(s)")
+
+    if args.verify_standby:
+        for report in result.shard_reports:
+            if report.standby_digest != report.media_digest:
+                raise SystemExit(
+                    f"shard {report.index}: standby digest "
+                    f"{report.standby_digest[:16]} != primary "
+                    f"{report.media_digest[:16]}"
+                )
+        print(f"standby digests verified for {result.shards} shard(s)")
 
     if args.json:
         payload = {
@@ -123,6 +153,9 @@ def main() -> None:
                     "p99_us": r.p99_us,
                     "sim_elapsed_us": r.sim_elapsed_us,
                     "media_digest": r.media_digest,
+                    "repl_groups_acked": r.repl_groups_acked,
+                    "repl_lag_us": r.repl_lag_us,
+                    "standby_digest": r.standby_digest,
                 }
                 for r in result.shard_reports
             ],

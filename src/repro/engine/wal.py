@@ -200,6 +200,13 @@ class WriteAheadLog:
 
     def __init__(self, chip: FlashChip) -> None:
         self.chip = chip
+        #: Device flush barrier (multi-channel log devices): a bare
+        #: :class:`FlashChip` applies programs synchronously, but a
+        #: :class:`~repro.flash.device.FlashDevice` overlaps array pulses
+        #: with the host — an append must wait those pulses out before a
+        #: commit is acknowledged, or power loss could tear an op the
+        #: caller already considers durable.
+        self._sync = getattr(chip, "sync", None)
         self.stats = WalStats()
         self._txn_buffer: list[bytes] = []
         #: Encoded commit frames awaiting one grouped device flush
@@ -335,6 +342,8 @@ class WriteAheadLog:
             self._page_offset += len(chunk)
             self.stats.bytes_flushed += len(chunk)
             self.stats.log_page_programs += 1
+        if self._sync is not None:
+            self._sync()
 
     # ------------------------------------------------------------------ #
     # Checkpoint / recovery
@@ -356,6 +365,8 @@ class WriteAheadLog:
             with lg.cause("wal"):
                 for block in reversed(range(self.chip.geometry.blocks)):
                     self.chip.erase_block(block)
+        if self._sync is not None:
+            self._sync()
         self._page_index = 0
         self._page_offset = 0
         self._txn_buffer = []

@@ -9,7 +9,11 @@ The package has two halves:
   runs a transactional workload, crashes it at an arbitrary op count,
   remounts a *fresh* stack over the surviving flash state (no reuse of
   pre-crash Python objects) and asserts the recovered database equals
-  the committed-transaction prefix of a crash-free oracle run.
+  the committed-transaction prefix of a crash-free oracle run;
+* :mod:`repro.fault.failover` — the replication extension of the
+  harness: a standby stack continuously fed per WAL commit group, a
+  primary killed mid-traffic, and a promotion that must retain exactly
+  the acknowledged-transaction prefix (``docs/replication.md``).
 
 See ``docs/recovery.md`` for the crash model and the remount protocol.
 """
@@ -23,14 +27,24 @@ from repro.fault.harness import (
     run_oracle,
     run_sweep,
 )
+from repro.fault.failover import (
+    FailoverOutcome,
+    FailoverSweepResult,
+    run_failover_point,
+    run_failover_sweep,
+)
 
 __all__ = [
     "FaultInjector",
     "PowerLossError",
     "CrashOutcome",
+    "FailoverOutcome",
+    "FailoverSweepResult",
     "FaultBackend",
     "SweepResult",
     "run_crash_point",
+    "run_failover_point",
+    "run_failover_sweep",
     "run_oracle",
     "run_sweep",
 ]

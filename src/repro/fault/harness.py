@@ -86,12 +86,19 @@ class FaultBackend:
         channels: Data-device channels; >1 builds a
             :class:`~repro.flash.device.FlashDevice` whose in-flight
             per-channel ops must be torn at power loss.
+        wal_channels: Log-device channels; >1 puts the WAL on a
+            :class:`~repro.flash.device.FlashDevice` too, so crashes can
+            also catch *log* appends in flight.  The WAL's append path
+            issues a flush barrier before acknowledging a commit, so the
+            only revertable log ops at a crash belong to the frame being
+            torn — the harness checks exactly that.
         background_gc: Run the incremental background collector, so
             crashes also land between budgeted GC steps.
     """
 
     name: str
     channels: int = 1
+    wal_channels: int = 1
     background_gc: bool = False
 
     def make_data_device(self):
@@ -99,6 +106,12 @@ class FaultBackend:
         if self.channels > 1:
             return FlashDevice(DATA_GEO, channels=self.channels)
         return FlashChip(DATA_GEO)
+
+    def make_wal_device(self, clock):
+        """The log chip (or multi-channel device) sharing the stack clock."""
+        if self.wal_channels > 1:
+            return FlashDevice(WAL_GEO, channels=self.wal_channels, clock=clock)
+        return FlashChip(WAL_GEO, clock=clock)
 
     def make_manager(self, chip: FlashChip) -> StorageManager:
         if self.name == "noftl-ipa":
@@ -161,7 +174,7 @@ def _build_stack(backend: FaultBackend):
     """Fresh chips + stack, with the setup phase run and checkpointed."""
     data_chip = backend.make_data_device()
     manager = backend.make_manager(data_chip)
-    wal_chip = FlashChip(WAL_GEO, clock=manager.clock)
+    wal_chip = backend.make_wal_device(manager.clock)
     manager.wal = WriteAheadLog(wal_chip)
     db = Database(manager)
     table = db.create_table("t", SCHEMA, n_pages=N_PAGES, pk="k")
@@ -246,12 +259,16 @@ def run_crash_point(
         # returned; the per-type counter is incremented after the WAL
         # flush, so a crash inside commit leaves it untouched.
         completed = db.txn_stats.by_type.get("bump", 0)
-        # Multi-channel device: array ops still in flight on their
+        # Multi-channel devices: array ops still in flight on their
         # channels at the crash instant did not finish either — revert
         # them (the one executing per channel is torn at a seeded cut).
-        power_loss = getattr(data_chip, "power_loss", None)
-        if power_loss is not None:
-            power_loss()
+        # The WAL device is torn too: log appends past the flush barrier
+        # are acked-durable, but the unsynced tail of the frame being
+        # written when power failed must not survive.
+        for chip in (data_chip, wal_chip):
+            power_loss = getattr(chip, "power_loss", None)
+            if power_loss is not None:
+                power_loss()
     finally:
         FaultInjector.detach(data_chip, wal_chip)
 

@@ -583,6 +583,26 @@ class FlashDevice:
             raise
         return out
 
+    def sync(self) -> None:
+        """Flush barrier: block the host until every in-flight pulse ends.
+
+        The WAL calls this after each log append so a commit
+        acknowledgement implies the array pulses behind it have
+        *finished* — without the barrier an acked commit frame could
+        still be in flight on its channel at a power loss and be
+        reverted by :meth:`power_loss`, silently un-committing a durable
+        transaction.  The stall is charged to the host clock under
+        ``channel_wait``, exactly like a queue-full stall: durability
+        has an honest latency cost.  Unlike :meth:`quiesce` this is safe
+        on crash paths — it advances time instead of discarding undo
+        state.
+        """
+        for channel in self._channels:
+            self._drain(channel)
+            if len(channel.inflight):
+                self._stall(channel, channel.inflight.last_end(), "sync")
+                self._drain(channel)
+
     def quiesce(self) -> None:
         """Drop all scheduling state: queues empty, channels idle *now*.
 

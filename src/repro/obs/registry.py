@@ -50,8 +50,17 @@ KNOWN_METRIC_KEYS: dict[str, str] = {
     "service_txns_completed": "transactions completed by this shard",
     "service_group_commits": "WAL commit groups flushed",
     "service_admission_sheds": "requests rejected at admission",
-    "service_admission_waits": "requests parked at admission",
+    "service_admission_waits": (
+        "distinct parks at admission (not retry attempts)"
+    ),
     "service_admission_wait_us": (
         "total time parked requests waited for a queue slot"
     ),
+    # repro.service.replication (primary-side registries)
+    "service_repl_groups_shipped": "WAL frame groups shipped to the standby",
+    "service_repl_groups_acked": (
+        "WAL frame groups acknowledged by the standby"
+    ),
+    "service_repl_lag_us": "cumulative primary-commit-to-standby-ack lag",
+    "service_repl_lag_groups": "groups shipped but not yet acknowledged",
 }

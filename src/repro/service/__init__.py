@@ -11,6 +11,7 @@ determinism contract, and the admission-control policy.
 
 from repro.service.admission import AdmissionController, AdmissionDecision
 from repro.service.config import ServiceConfig
+from repro.service.replication import ReplicationLink, ShardReplica
 from repro.service.router import shard_of
 from repro.service.service import (
     ServiceResult,
@@ -25,10 +26,12 @@ from repro.service.shard import Shard
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "ReplicationLink",
     "ServiceConfig",
     "ServiceResult",
     "Session",
     "Shard",
+    "ShardReplica",
     "ShardReport",
     "ShardedService",
     "replay_shard_stream",

@@ -40,6 +40,14 @@ class AdmissionController:
             :data:`NULL_METRIC`); the controller owns incrementing the
             first two, the scheduler credits ``wait_us`` when a parked
             request is finally admitted.
+
+    Counter semantics (pinned by ``tests/service/test_admission.py``):
+    ``waits`` counts *distinct parks* — the first ``WAIT`` a request
+    receives marks it ``parked`` and further :meth:`offer` calls for the
+    same request while the queue is still full return ``WAIT`` without
+    incrementing, so a retry loop cannot inflate the park count.
+    ``sheds`` deliberately counts every rejection: a shed request is
+    dropped, so each shed *is* a distinct client-visible event.
     """
 
     def __init__(
@@ -73,6 +81,8 @@ class AdmissionController:
         Returns the decision; on ``SHED``/``WAIT`` the request was *not*
         queued and the matching counter was incremented — the caller
         owns what happens next (drop + back off, or park the session).
+        A request re-offered while already parked stays one park:
+        ``waits`` counts sessions parked, not retry attempts.
         """
         if self.has_room():
             self.queue.append(request)
@@ -80,7 +90,9 @@ class AdmissionController:
         if self.policy == "shed":
             self.sheds.inc()
             return AdmissionDecision.SHED
-        self.waits.inc()
+        if not request.parked:
+            request.parked = True
+            self.waits.inc()
         return AdmissionDecision.WAIT
 
     def admit(self, request: "Request", waited_us: float = 0.0) -> None:
@@ -93,6 +105,7 @@ class AdmissionController:
             raise RuntimeError("admit() without a free slot")
         if waited_us:
             self.wait_us.inc(waited_us)
+        request.parked = False
         self.queue.append(request)
 
     def take(self, limit: int) -> List["Request"]:

@@ -52,6 +52,15 @@ class ServiceConfig:
             event loop; byte-identical media for a given seed) or
             ``"threaded"`` (real thread-per-session front end; ordering
             is OS-scheduler dependent).  See ``docs/service.md``.
+        replication: Attach one standby stack per shard and stream every
+            WAL commit group to it, synchronously (a group's
+            transactions complete only at the standby ack).  Off by
+            default — the disabled path is byte-identical to a
+            replication-free build (digest-gated).  See
+            ``docs/replication.md``.
+        repl_latency_us: One-way primary→standby transport latency
+            (simulated µs); the per-group ack delay is twice this plus
+            the standby's apply time.
         observe: Attach per-shard metrics (latency histograms, admission
             counters).  Off = NULL registry, near-zero overhead.
         seed: Master seed; shard-build and per-session RNG seeds are all
@@ -74,6 +83,8 @@ class ServiceConfig:
     think_time_us: float = 100.0
     shed_backoff_us: float = 500.0
     scheduling: str = "deterministic"
+    replication: bool = False
+    repl_latency_us: float = 50.0
     observe: bool = True
     seed: int = 42
 
@@ -98,3 +109,5 @@ class ServiceConfig:
                 f"scheduling must be one of {SCHEDULING_MODES}, "
                 f"got {self.scheduling!r}"
             )
+        if self.repl_latency_us < 0:
+            raise ValueError("repl_latency_us must be >= 0")

@@ -24,7 +24,12 @@ values, and each equals the digest of replaying that shard's extracted
 dispatch log serially via :func:`replay_shard_stream`.  The dispatch log
 (ordered groups of tenant ids per shard) plus the derived session seeds
 are therefore a complete description of a shard's WAL frame stream —
-the replication seam this tier deliberately leaves open.
+the seam :mod:`repro.service.replication` streams over: with
+``config.replication`` on, every shard ships each committed group to a
+standby stack and completes it only at the standby's ack, so promotion
+after a primary loss retains every acknowledged transaction (see
+``docs/replication.md`` and the failover sweep in
+:mod:`repro.fault.failover`).
 """
 
 from __future__ import annotations
@@ -93,6 +98,10 @@ class ShardReport:
     sim_elapsed_us: float
     media_digest: str
     dispatch_log: List[List[int]] = field(repr=False)
+    #: Replication (empty/zero when ``config.replication`` is off).
+    repl_groups_acked: int = 0
+    repl_lag_us: float = 0.0
+    standby_digest: str = ""
 
 
 @dataclass
@@ -123,6 +132,19 @@ class ShardedService:
         self.shards = [
             Shard(i, config, shard_seeds[i]) for i in range(config.shards)
         ]
+        if config.replication:
+            from repro.service.replication import ShardReplica
+
+            for shard in self.shards:
+                shard.attach_replica(
+                    ShardReplica(
+                        config,
+                        shard.index,
+                        shard_seeds[shard.index],
+                        session_seeds,
+                        shard.metrics,
+                    )
+                )
         self.sessions = [
             Session(
                 tenant=tenant,
@@ -335,6 +357,15 @@ class ShardedService:
                     sim_elapsed_us=shard.manager.clock.now_us,
                     media_digest=shard.media_digest(),
                     dispatch_log=[list(g) for g in shard.dispatch_log],
+                    repl_groups_acked=(
+                        shard.replica.link.groups_acked if shard.replica else 0
+                    ),
+                    repl_lag_us=(
+                        shard.replica.link.lag_us_total if shard.replica else 0.0
+                    ),
+                    standby_digest=(
+                        shard.replica.media_digest() if shard.replica else ""
+                    ),
                 )
             )
         tps = total_completed / (elapsed_us / 1e6) if elapsed_us > 0 else 0.0

@@ -42,3 +42,7 @@ class Request:
     enqueue_us: float
     #: Threaded mode only: completion signal back to the session thread.
     done: Optional[object] = field(default=None, repr=False)
+    #: Set by the admission controller the first time this request is
+    #: parked (``WAIT``): a request that re-offers while the queue is
+    #: still full is one *park*, not one park per retry attempt.
+    parked: bool = False

@@ -26,9 +26,24 @@ from repro.service.config import ServiceConfig
 if TYPE_CHECKING:
     import numpy as np
 
+    from repro.service.replication import ShardReplica
     from repro.service.session import Request
 
-__all__ = ["Shard"]
+__all__ = ["Shard", "device_chips"]
+
+
+def device_chips(device) -> list:
+    """Every underlying :class:`FlashChip` of a chip-or-device, in order.
+
+    A bare chip enumerates as itself; a multi-channel
+    :class:`~repro.flash.device.FlashDevice` enumerates its per-channel
+    chips explicitly (chip-major).  Digests must hash *physical* chips,
+    never a routing view: enumerating through a device's global
+    page-number mapping ties the digest to the striping arithmetic,
+    which is exactly the kind of silent coupling that let a single-chip
+    hash look complete.
+    """
+    return list(getattr(device, "chips", None) or [device])
 
 
 class Shard:
@@ -98,7 +113,8 @@ class Shard:
                 "service_admission_sheds", help="requests rejected at admission"
             ),
             waits=self.metrics.counter(
-                "service_admission_waits", help="requests parked at admission"
+                "service_admission_waits",
+                help="distinct parks at admission (not retry attempts)",
             ),
             wait_us=self.metrics.counter(
                 "service_admission_wait_us",
@@ -115,6 +131,14 @@ class Shard:
         self.latencies_us: List[float] = []
         #: Virtual time the shard is busy until (deterministic mode).
         self.busy_until_us: float = 0.0
+        #: Optional standby replica (attached by the service when
+        #: ``config.replication`` is on).  ``None`` leaves this shard's
+        #: execution path byte-identical to an unreplicated run.
+        self.replica: Optional["ShardReplica"] = None
+
+    def attach_replica(self, replica: "ShardReplica") -> None:
+        """Wire a standby: every future commit group is shipped to it."""
+        self.replica = replica
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -126,7 +150,9 @@ class Shard:
         Duration is measured on the *shard's* simulated clock; the
         scheduler maps it onto global virtual time.  All transactions in
         the batch become durable — and therefore complete — together, at
-        the group flush.
+        the group flush; with a replica attached they complete only at
+        the standby's acknowledgement (synchronous replication), so the
+        returned duration additionally covers the replication round trip.
         """
         start_us = self.manager.clock.now_us
         self.manager.begin_wal_group()
@@ -136,8 +162,12 @@ class Shard:
         self.manager.end_wal_group()
         self.group_commits.inc()
         self.txns_completed.inc(len(requests))
-        self.dispatch_log.append([r.session.tenant for r in requests])
-        return self.manager.clock.now_us - start_us
+        group = [r.session.tenant for r in requests]
+        self.dispatch_log.append(group)
+        duration_us = self.manager.clock.now_us - start_us
+        if self.replica is not None:
+            duration_us += self.replica.ship(group)
+        return duration_us
 
     def execute_tenant_group(
         self, tenants: Iterable[int], rngs: "dict[int, np.random.Generator]"
@@ -155,14 +185,19 @@ class Shard:
     def media_digest(self) -> str:
         """SHA-256 over every physical page (data + OOB) of the shard.
 
-        Covers the data chip(s) *and* the WAL log chip, via the public
-        page accessors only — the digest is a pure function of media
-        bytes, so two runs agree iff the devices are byte-identical.
+        Covers every underlying chip of the data device *and* of the WAL
+        log device — multi-channel stacks enumerate all per-channel
+        chips via :func:`device_chips`, in chip-major order — through
+        the public page accessors only: the digest is a pure function of
+        media bytes, so two runs agree iff the devices are
+        byte-identical.  (Single-channel digests are unchanged by the
+        explicit enumeration; multi-channel digests hash the same bytes
+        in per-chip rather than striped order.)
         """
         digest = hashlib.sha256()
-        chips = [self.manager.device.chip]
+        chips = device_chips(self.manager.device.chip)
         if self.manager.wal is not None:
-            chips.append(self.manager.wal.chip)
+            chips.extend(device_chips(self.manager.wal.chip))
         for chip in chips:
             for ppn in range(chip.geometry.total_pages):
                 page = chip.page_at(ppn)

@@ -50,6 +50,44 @@ class TestAdmission:
         assert ctrl.waits.value == 1
         assert len(ctrl) == 1
 
+    def test_waits_count_distinct_parks_not_retry_attempts(self):
+        # Pinned semantics (PR 9 audit): one parked request re-offered
+        # N times is one wait, however long it spins.
+        ctrl, _ = make_controller(depth=1, policy="wait")
+        ctrl.offer(make_request())
+        parked = make_request()
+        for _ in range(5):
+            assert ctrl.offer(parked) is AdmissionDecision.WAIT
+        assert parked.parked is True
+        assert ctrl.waits.value == 1
+
+    def test_admit_clears_park_so_a_later_park_counts_again(self):
+        ctrl, _ = make_controller(depth=1, policy="wait")
+        blocker = make_request()
+        ctrl.offer(blocker)
+        parked = make_request()
+        ctrl.offer(parked)
+        ctrl.take(1)
+        ctrl.admit(parked, waited_us=10.0)
+        assert parked.parked is False
+        assert ctrl.waits.value == 1
+        # The same request parks again behind a new blocker: a second
+        # distinct park, a second count.
+        ctrl.take(1)
+        ctrl.offer(make_request())
+        assert ctrl.offer(parked) is AdmissionDecision.WAIT
+        assert ctrl.waits.value == 2
+
+    def test_sheds_count_every_rejection(self):
+        # Contrast with waits: shed has no park state, so every retry
+        # of an unlucky request increments the counter.
+        ctrl, _ = make_controller(depth=1, policy="shed")
+        ctrl.offer(make_request())
+        unlucky = make_request()
+        for _ in range(3):
+            assert ctrl.offer(unlucky) is AdmissionDecision.SHED
+        assert ctrl.sheds.value == 3
+
     def test_take_is_fifo(self):
         ctrl, _ = make_controller(depth=3)
         for tenant in (3, 1, 2):
