@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.core.config import IpaScheme
 from repro.bench.harness import ExperimentConfig, build_stack
 from repro.bench.report import render_table
+from repro.engine.database import Database
 from repro.engine.schema import Column, ColumnType, Schema
 from repro.flash.modes import FlashMode
 from repro.workloads.base import Workload
@@ -38,7 +39,7 @@ class _OnePageWorkload(Workload):
     def estimate_pages(self, page_size: int) -> int:
         return 600  # plenty: no GC interference in the micro-benchmark
 
-    def build(self, db, rng) -> None:
+    def build(self, db: Database, rng: np.random.Generator) -> None:
         schema = Schema(
             [
                 Column("id", ColumnType.INT32),
@@ -50,7 +51,7 @@ class _OnePageWorkload(Workload):
         table.insert({"id": 1, "field": "x" * UPDATE_BYTES, "payload": "p" * 190})
         db.checkpoint()
 
-    def transaction(self, db, rng) -> str:
+    def transaction(self, db: Database, rng: np.random.Generator) -> str:
         # Exactly 10 bytes of net change on the page.
         with db.begin("update"):
             db.table("t").update_field(1, "field", "y" * UPDATE_BYTES)

@@ -20,6 +20,7 @@ import argparse
 import io
 import sys
 from contextlib import redirect_stdout
+from typing import Callable
 
 from repro.bench import (
     ablations,
@@ -42,7 +43,7 @@ from repro.bench.table1 import Table1Settings
 Section = tuple[str, str, str]
 
 
-def _capture(title: str, fn):
+def _capture(title: str, fn: Callable[[], Section]) -> tuple[Section, str]:
     """Run one section with its stdout captured.
 
     Returns ``(result, captured_stdout)``.  If the section raises, the

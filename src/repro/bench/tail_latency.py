@@ -17,6 +17,7 @@ from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experime
 from repro.bench.report import render_table
 from repro.core.config import SCHEME_2X4
 from repro.flash.modes import FlashMode
+from repro.obs import ObserveConfig
 from repro.workloads.tpcb import TpcbWorkload
 
 
@@ -28,7 +29,9 @@ class LatencyRow:
     result: ExperimentResult
 
 
-def run(transactions: int = 4000, observe=None) -> list[LatencyRow]:
+def run(
+    transactions: int = 4000, observe: bool | ObserveConfig | None = None
+) -> list[LatencyRow]:
     """Run the baseline/IPA pair and collect latency percentiles.
 
     Args:
@@ -39,7 +42,7 @@ def run(transactions: int = 4000, observe=None) -> list[LatencyRow]:
             transaction that tripped it.
     """
 
-    def workload():
+    def workload() -> TpcbWorkload:
         return TpcbWorkload(
             scale=1, accounts_per_branch=8000, history_pages=400
         )

@@ -4,7 +4,9 @@ The paper's claims are *count* claims, so every accounting bug is a
 fidelity bug; and the whole experimental method rests on deterministic
 replay, so every stray wall-clock read or unseeded RNG is a
 reproducibility bug.  Generic linters cannot know any of that.  This
-package encodes the repo's own contracts as AST rules:
+package encodes the repo's own contracts, in two layers.
+
+Per-file AST rules (:mod:`repro.lint.rules`):
 
 * **R1 determinism** — no wall-clock, no unseeded module-level RNG
   anywhere under ``src/repro``.
@@ -19,12 +21,38 @@ package encodes the repo's own contracts as AST rules:
 * **R5 hygiene** — unused imports, placeholder-free f-strings, mutable
   default arguments (the ruff subset this repo cares about, kept local
   so the gate runs with no third-party installs).
+* **R6 worker seeding** — no OS entropy in multiprocessing code; worker
+  randomness derives from the experiment seed.
 
-Run it as ``python -m repro.lint``; suppress a single finding with a
+Whole-program protocol rules (:mod:`repro.lint.protocol`, running over
+the cached cross-file pass in :mod:`repro.lint.program`):
+
+* **R7 durability ordering** — WAL append/truncate paths reach a
+  ``sync()`` barrier before the commit/ack boundary; replication acks
+  are post-apply.
+* **R8 lockset races** — Eraser-style lockset analysis over
+  ``threading.Thread`` targets in ``repro.service`` (paired with the
+  runtime sanitizer in :mod:`repro.service.sanitize`).
+* **R9 clock domains** — per-shard ``SimClock`` timestamps never mix
+  across domains outside the sanctioned mapping helpers.
+* **R10 lifecycle** — ``begin_group``/``end_group`` pairing and the
+  quiesce()/power-loss exclusion.
+
+Run it as ``python -m repro.lint`` (``--format json|sarif|github``,
+``--jobs N``, ``--explain R7``); suppress a single finding with a
 ``# reprolint: allow[R3]`` comment on the same or the preceding line.
 See ``docs/static_analysis.md`` for each rule's motivating bug.
 """
 
 from repro.lint.engine import Violation, lint_file, run_lint
+from repro.lint.program import Program, load_module
+from repro.lint.protocol import ALL_PROGRAM_RULES
 
-__all__ = ["Violation", "lint_file", "run_lint"]
+__all__ = [
+    "ALL_PROGRAM_RULES",
+    "Program",
+    "Violation",
+    "lint_file",
+    "load_module",
+    "run_lint",
+]

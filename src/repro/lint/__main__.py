@@ -1,8 +1,14 @@
-"""CLI: ``python -m repro.lint [paths...] [--select R1,R3]``.
+"""CLI: ``python -m repro.lint [paths...] [options]``.
 
 With no paths, lints ``src/`` and ``tests/`` of the repo root (found by
 walking up from the current directory to the nearest ``pyproject.toml``).
-Exit status 1 if any violation survives pragmas, else 0.
+
+Options: ``--select R1,R7`` runs a subset (unknown ids are a usage
+error, exit 2 — a typo must not silently select nothing), ``--explain
+R8`` prints a rule's full docstring, ``--format text|json|sarif|github``
+picks the renderer (``--output`` writes it to a file, SARIF's usual
+mode), ``--jobs N`` shards the per-file pass across processes (0 = all
+cores).  Exit status 1 if any violation survives pragmas, else 0.
 """
 
 from __future__ import annotations
@@ -12,7 +18,13 @@ import sys
 from pathlib import Path
 
 from repro.lint.engine import run_lint
+from repro.lint.output import FORMATS, render
+from repro.lint.protocol import ALL_PROGRAM_RULES
 from repro.lint.rules import ALL_RULES
+
+KNOWN_RULE_IDS = tuple(
+    factory.rule_id for factory in (*ALL_RULES, *ALL_PROGRAM_RULES)
+)
 
 
 def _repo_root() -> Path:
@@ -23,10 +35,28 @@ def _repo_root() -> Path:
     return current
 
 
+def _explain(rule_id: str) -> int:
+    for factory in (*ALL_RULES, *ALL_PROGRAM_RULES):
+        if factory.rule_id == rule_id:
+            doc = (factory.__doc__ or "").strip() or "(no documentation)"
+            print(f"{rule_id} — {factory.__name__}")
+            print(doc)
+            return 0
+    print(
+        f"error: unknown rule id {rule_id!r} "
+        f"(known: {', '.join(KNOWN_RULE_IDS)})",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="repo-specific static analysis (rules R1-R5)",
+        description=(
+            "repo-specific static analysis: per-file rules R1-R6 plus "
+            "whole-program protocol rules R7-R10"
+        ),
     )
     parser.add_argument(
         "paths",
@@ -40,6 +70,30 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print the named rule's full docstring, then exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATS),
+        default="text",
+        help="output renderer (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        type=Path,
+        help="write rendered output to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel per-file analysis across N processes (0 = all cores)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule ids and one-line summaries, then exit",
@@ -47,13 +101,35 @@ def main(argv: list[str] | None = None) -> int:
     options = parser.parse_args(argv)
 
     if options.list_rules:
-        for factory in ALL_RULES:
+        for factory in (*ALL_RULES, *ALL_PROGRAM_RULES):
             doc = (factory.__doc__ or "").strip().splitlines()[0]
             print(f"{factory.rule_id}  {doc}")
         return 0
 
+    if options.explain:
+        return _explain(options.explain.strip())
+
+    select = None
+    if options.select:
+        select = frozenset(
+            part.strip() for part in options.select.split(",") if part.strip()
+        )
+        unknown = sorted(select - set(KNOWN_RULE_IDS))
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(KNOWN_RULE_IDS)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    if options.jobs < 0:
+        print("error: --jobs must be >= 0", file=sys.stderr)
+        return 2
+    jobs = options.jobs
+
     if options.paths:
-        roots = [path for path in options.paths]
+        roots = list(options.paths)
     else:
         repo = _repo_root()
         roots = [repo / "src", repo / "tests"]
@@ -64,18 +140,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: no such path: {root}", file=sys.stderr)
         return 2
 
-    select = (
-        frozenset(part.strip() for part in options.select.split(","))
-        if options.select
-        else None
-    )
-    violations = run_lint(roots, select=select)
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        print(
-            f"reprolint: {len(violations)} violation(s)", file=sys.stderr
+    violations = run_lint(roots, select=select, jobs=jobs)
+    rendered = render(options.format, violations)
+    if options.output is not None:
+        options.output.write_text(
+            rendered + ("\n" if rendered else ""), encoding="utf-8"
         )
+    elif rendered:
+        print(rendered)
+    if violations:
+        print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,134 @@
+"""Output renderers for reprolint: text, JSON, SARIF, GitHub annotations.
+
+``text`` is the human default (``path:line:col: RULE message``).
+``json`` is a stable machine surface for scripts.  ``sarif`` emits a
+minimal SARIF 2.1.0 log — the format GitHub code scanning ingests as an
+artifact — with one ``rule`` entry per reprolint rule so findings carry
+their docstring summaries.  ``github`` prints workflow command lines
+(``::error file=...``) that the Actions runner turns into inline PR
+annotations; CI uses it alongside the SARIF artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
+
+if TYPE_CHECKING:
+    from repro.lint.engine import Violation
+
+__all__ = ["FORMATS", "render"]
+
+
+def _rule_docs() -> Dict[str, str]:
+    """rule id -> first docstring line, for SARIF rule metadata."""
+    from repro.lint.protocol import ALL_PROGRAM_RULES
+    from repro.lint.rules import ALL_RULES
+
+    docs: Dict[str, str] = {}
+    for factory in (*ALL_RULES, *ALL_PROGRAM_RULES):
+        doc = (factory.__doc__ or "").strip().splitlines()
+        docs[factory.rule_id] = doc[0] if doc else ""
+    return docs
+
+
+def render_text(violations: Sequence["Violation"]) -> str:
+    return "\n".join(v.render() for v in violations)
+
+
+def render_json(violations: Sequence["Violation"]) -> str:
+    payload = {
+        "count": len(violations),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(violations: Sequence["Violation"]) -> str:
+    docs = _rule_docs()
+    used = sorted({v.rule for v in violations} | set(docs))
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": docs.get(rule_id, rule_id)},
+        }
+        for rule_id in used
+    ]
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path},
+                        "region": {
+                            "startLine": v.line,
+                            # SARIF columns are 1-based; AST cols are 0-based.
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+def render_github(violations: Sequence["Violation"]) -> str:
+    """GitHub Actions workflow commands: inline annotations on the PR."""
+    lines: List[str] = []
+    for v in violations:
+        # Workflow-command syntax: property values escape , : %.
+        message = (
+            v.message.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        lines.append(
+            f"::error file={v.path},line={v.line},col={v.col + 1},"
+            f"title=reprolint {v.rule}::{message}"
+        )
+    return "\n".join(lines)
+
+
+FORMATS: Dict[str, Callable[[Sequence["Violation"]], str]] = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+    "github": render_github,
+}
+
+
+def render(fmt: str, violations: Sequence["Violation"]) -> str:
+    return FORMATS[fmt](violations)

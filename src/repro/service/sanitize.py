@@ -1,0 +1,219 @@
+"""Runtime lockset sanitizer: Eraser's algorithm over the service tier.
+
+The static R8 rule (:class:`repro.lint.protocol.LocksetRule`) proves
+lock discipline over the *spelled* access paths in the threaded
+scheduler; this module re-checks the same invariant dynamically with
+exact object identities, so an alias the static approximation cannot see
+(two names for one queue, a controller shared across shards by a future
+refactor) still gets caught.  Both sides implement the classic Eraser
+state machine [Savage et al., TOCS 1997]:
+
+* every shared location starts **VIRGIN**; the first access makes it
+  **EXCLUSIVE** to that thread (initialisation needs no locks);
+* a second thread moves it to **SHARED** (read) or **SHARED-MODIFIED**
+  (write), and from then on its *candidate lockset* — initialised to the
+  locks held at that transition — is intersected with the locks held at
+  every access;
+* an empty candidate lockset in SHARED-MODIFIED state means no single
+  lock protected every access: a data race, regardless of whether this
+  schedule happened to interleave badly.
+
+Armed by the same ``REPRO_SANITIZE=1`` switch as the physics sanitizer
+(:mod:`repro.flash.sanitize`) and paying the same disabled cost: one
+attribute load and one bool test per instrumented site (guarded by
+``benchmarks/test_sanitize_overhead.py``).  Violations are *recorded* at
+the racy access and raised from :meth:`LocksetSanitizer.check` after the
+threads join — raising inside a worker would just kill that thread and
+deadlock its clients.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, FrozenSet, List, Set, Tuple, Union
+
+__all__ = [
+    "ENV_VAR",
+    "NULL_LOCKSET",
+    "LocksetSanitizer",
+    "LocksetViolationError",
+    "TrackedLock",
+    "lockset_from_env",
+]
+
+ENV_VAR = "REPRO_SANITIZE"
+
+#: Eraser states.  There is no SHARED->EXCLUSIVE path: once two threads
+#: have seen a location, lock discipline is required forever.  A
+#: location that raced is parked in REPORTED so one race yields one
+#: report, not one per subsequent access.
+_VIRGIN = 0
+_EXCLUSIVE = 1
+_SHARED = 2
+_SHARED_MODIFIED = 3
+_REPORTED = 4
+
+
+class LocksetViolationError(AssertionError):
+    """A shared location was written with an empty candidate lockset."""
+
+
+class _NullLockset:
+    """Shared disabled sanitizer: instrumented sites test ``.enabled``
+    once; :meth:`lock` hands the raw lock back untouched."""
+
+    __slots__ = ()
+    enabled = False
+
+    def lock(self, raw: threading.Lock, name: str = "") -> threading.Lock:
+        return raw
+
+    def access(self, owner: object, field: str, write: bool) -> None:
+        # Unreachable from the guarded hot paths (``.enabled`` is
+        # tested first); kept so the two classes share a signature.
+        return None
+
+    def check(self) -> None:
+        return None
+
+
+NULL_LOCKSET = _NullLockset()
+
+
+def lockset_from_env() -> Union["LocksetSanitizer", _NullLockset]:
+    """A live :class:`LocksetSanitizer` iff ``REPRO_SANITIZE=1``.
+
+    Read at construction time of each shard, like the physics
+    sanitizer, so tests can flip the environment between stacks.
+    """
+    if os.environ.get(ENV_VAR, "") == "1":
+        return LocksetSanitizer()
+    return NULL_LOCKSET
+
+
+class TrackedLock:
+    """A ``threading.Lock`` that reports acquire/release to the sanitizer.
+
+    Drop-in for the scheduler's shard locks, including as the base of a
+    ``threading.Condition``: ``Condition.wait`` releases and reacquires
+    through these methods, so the per-thread held set stays exact across
+    waits.  (``Condition``'s ownership probe — ``acquire(False)`` then
+    ``release`` — transits the held set but nets to no change.)
+    """
+
+    __slots__ = ("_lock", "_sanitizer", "name")
+
+    def __init__(
+        self,
+        lock: threading.Lock,
+        sanitizer: "LocksetSanitizer",
+        name: str,
+    ) -> None:
+        self._lock = lock
+        self._sanitizer = sanitizer
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer.held().add(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._sanitizer.held().discard(self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class LocksetSanitizer:
+    """Eraser state machine over ``(owner id, field)`` locations.
+
+    One instance per shard (constructed by :class:`repro.service.shard.
+    Shard` from the environment): the shard's admission controller and
+    any future shared structures report accesses here, and the threaded
+    scheduler wraps the shard's lock through :meth:`lock`.  The
+    sanitizer's own tables are guarded by an internal *untracked* mutex
+    — it must never appear in a candidate lockset.
+    """
+
+    __slots__ = ("_mu", "_local", "_state", "_violations")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._local = threading.local()
+        #: location -> (state, owner thread id, candidate lockset, label)
+        self._state: Dict[
+            Tuple[int, str], Tuple[int, int, FrozenSet[str], str]
+        ] = {}
+        self._violations: List[str] = []
+
+    # -- per-thread held set ------------------------------------------- #
+
+    def held(self) -> Set[str]:
+        """The calling thread's currently held tracked-lock names."""
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = set()
+            self._local.held = held
+        return held
+
+    def lock(self, raw: threading.Lock, name: str = "") -> TrackedLock:
+        """Wrap a raw lock so acquisitions feed the held set."""
+        return TrackedLock(raw, self, name or f"lock@{id(raw):#x}")
+
+    # -- the state machine --------------------------------------------- #
+
+    def access(self, owner: object, field: str, write: bool) -> None:
+        """Record one access to ``owner.field`` by the calling thread."""
+        key = (id(owner), field)
+        thread_id = threading.get_ident()
+        held = frozenset(self.held())
+        with self._mu:
+            entry = self._state.get(key)
+            if entry is None:
+                label = f"{type(owner).__name__}.{field}"
+                self._state[key] = (_EXCLUSIVE, thread_id, held, label)
+                return
+            state, owner_tid, lockset, label = entry
+            if state == _REPORTED:
+                return
+            if state == _EXCLUSIVE:
+                if thread_id == owner_tid:
+                    return
+                # Second thread: candidate lockset starts *here* — locks
+                # held during single-threaded init are not credited.
+                state = _SHARED_MODIFIED if write else _SHARED
+                lockset = held
+            else:
+                lockset = lockset & held
+                if write:
+                    state = _SHARED_MODIFIED
+            if state == _SHARED_MODIFIED and not lockset:
+                self._violations.append(
+                    f"lockset violation: {label} written from thread "
+                    f"{thread_id} with no common lock across its "
+                    "concurrent accesses"
+                )
+                self._state[key] = (_REPORTED, thread_id, lockset, label)
+                return
+            self._state[key] = (state, owner_tid, lockset, label)
+
+    def check(self) -> None:
+        """Raise if any access raced; call after the threads join."""
+        with self._mu:
+            violations = list(self._violations)
+        if violations:
+            raise LocksetViolationError(
+                "sanitize: " + "; ".join(violations)
+            )

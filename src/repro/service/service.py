@@ -39,7 +39,7 @@ import math
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -50,16 +50,44 @@ from repro.service.router import shard_of
 from repro.service.session import Request, Session
 from repro.service.shard import Shard
 
+if TYPE_CHECKING:
+    from repro.flash.latency import SimClock
+
 __all__ = [
     "ServiceResult",
     "ShardReport",
     "ShardedService",
+    "global_end_us",
     "replay_shard_stream",
     "run_service",
+    "shard_elapsed_us",
 ]
 
 _ISSUE = 0
 _DRAIN = 1
+
+
+def global_end_us(t_us: float, duration_us: float) -> float:
+    """Map a shard-clock duration onto the global virtual timeline.
+
+    The deterministic scheduler keeps two kinds of time: the global
+    event-loop clock (``t_us``) and each shard's own simulated clock,
+    which only ever yields *durations* to the outside.  This helper is
+    one of the two sanctioned crossings between clock domains (the
+    other is :func:`shard_elapsed_us`); the R9 lint rule flags any
+    other expression that mixes timestamps from different domains.
+    """
+    return t_us + duration_us
+
+
+def shard_elapsed_us(clock: "SimClock", start_us: float) -> float:
+    """Elapsed time on one shard's clock, as a domain-free duration.
+
+    ``start_us`` must come from the same ``clock``; the returned value
+    carries no domain tag and may be added to any timeline.  Sanctioned
+    crossing #2 for the R9 clock-domain rule (see :func:`global_end_us`).
+    """
+    return clock.now_us - start_us
 
 
 def _derived_seeds(config: ServiceConfig) -> Tuple[List[int], List[int]]:
@@ -227,7 +255,7 @@ class ShardedService:
                     waited_us=t_us - first_us,
                 )
             duration_us = shard.execute_batch(batch)
-            end_us = t_us + duration_us
+            end_us = global_end_us(t_us, duration_us)
             shard.busy_until_us = end_us
             last_completion_us = max(last_completion_us, end_us)
             for request in batch:
@@ -251,7 +279,15 @@ class ShardedService:
 
     def _run_threaded(self) -> float:
         config = self.config
-        locks = [threading.Lock() for _ in self.shards]
+        # Each shard's lock runs through its lockset sanitizer (a no-op
+        # wrapper unless REPRO_SANITIZE=1), so held-lock tracking covers
+        # Condition waits too.
+        locks = [
+            shard.lockset.lock(
+                threading.Lock(), name=f"shard{shard.index}.lock"
+            )
+            for shard in self.shards
+        ]
         not_empty = [threading.Condition(lock) for lock in locks]
         not_full = [threading.Condition(lock) for lock in locks]
         shutdown = [False] * len(self.shards)
@@ -324,6 +360,8 @@ class ShardedService:
                 not_empty[i].notify_all()
         for thread in workers:
             thread.join()
+        for shard in self.shards:
+            shard.lockset.check()
         return max(shard.manager.clock.now_us for shard in self.shards)
 
     # ------------------------------------------------------------------ #

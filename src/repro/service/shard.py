@@ -22,6 +22,7 @@ from repro.obs.metrics import (
 )
 from repro.service.admission import AdmissionController
 from repro.service.config import ServiceConfig
+from repro.service.sanitize import lockset_from_env
 
 if TYPE_CHECKING:
     import numpy as np
@@ -106,9 +107,15 @@ class Shard:
         self.group_commits = self.metrics.counter(
             "service_group_commits", help="WAL commit groups flushed"
         )
+        #: Eraser-style lockset sanitizer (live iff ``REPRO_SANITIZE=1``):
+        #: the admission queue reports every access through it, and the
+        #: threaded scheduler routes this shard's lock acquisitions into
+        #: its per-thread held set.
+        self.lockset = lockset_from_env()
         self.admission = AdmissionController(
             depth=config.queue_depth,
             policy=config.admission_policy,
+            sanitize=self.lockset,
             sheds=self.metrics.counter(
                 "service_admission_sheds", help="requests rejected at admission"
             ),

@@ -1,0 +1,27 @@
+# reprolint: module=repro.service.fixture_r10_bad
+"""R10 bad fixture: broken lifecycle pairing.
+
+A WAL commit group opened but never closed (its buffered frames would
+never flush), a close with no open, and both quiesce/power-loss
+orderings that destroy the crash model's in-flight window.
+"""
+
+
+class Sloppy:
+    def half_open(self, manager):
+        manager.begin_wal_group()
+        manager.run_transactions()
+        # never calls end_wal_group(): frames sit buffered forever
+
+    def close_unopened(self, manager):
+        manager.end_wal_group()
+
+    def drain_first(self, device):
+        device.quiesce()  # drains the in-flight window...
+        device.power_loss()  # ...so this crash tears nothing
+
+    def hide_crash(self, device):
+        try:
+            device.power_loss()
+        except PowerLossError:
+            device.quiesce()  # cleans up the window recovery must see

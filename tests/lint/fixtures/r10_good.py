@@ -1,0 +1,24 @@
+# reprolint: module=repro.service.fixture_r10_good
+"""R10 good fixture: well-paired lifecycles.
+
+Groups close in the function that opened them (a mid-group
+``flush_group`` is a legal drain, not a close), and quiesce happens only
+after the crash window has been consumed by recovery.
+"""
+
+
+class Careful:
+    def batch(self, manager):
+        manager.begin_wal_group()
+        manager.run_transactions()
+        manager.flush_group()  # mid-group drain: legal, group stays open
+        manager.run_transactions()
+        manager.end_wal_group()
+
+    def crash(self, device):
+        device.power_loss()
+
+    def settle(self, device):
+        device.power_loss()
+        device.recover()
+        device.quiesce()  # after the crash window: legal

@@ -1,0 +1,38 @@
+# reprolint: module=repro.service.fixture_r7_bad
+"""R7 bad fixture: the PR 9 bug, reconstructed.
+
+``NeuteredWal`` is the WAL append path with the ``FlashDevice.sync()``
+barrier stripped out — acked frames can still be sitting on channel
+queues at power loss.  ``EagerLink`` acks a replicated group before the
+standby apply call (the torn-ack window).
+"""
+
+
+class NeuteredWal:
+    def __init__(self, chip):
+        self.chip = chip
+        self.head = 0
+
+    def commit(self, frame):
+        self._append(frame)
+
+    def _append(self, frame):
+        for offset, byte in enumerate(frame):
+            self.chip.partial_program(self.head + offset, byte)
+        self.head += len(frame)
+        # No sync() barrier: in-flight programs tear after the ack.
+
+    def truncate(self):
+        for block in range(4):
+            self.chip.erase_block(block)
+        self.head = 0
+
+
+class EagerLink:
+    def __init__(self, standby):
+        self.standby = standby
+        self.groups_acked = 0
+
+    def ship(self, group):
+        self.groups_acked += 1  # acked before the standby applied it
+        self.standby.apply_group(group)

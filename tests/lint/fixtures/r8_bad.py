@@ -1,0 +1,35 @@
+# reprolint: module=repro.service.fixture_r8_bad
+"""R8 bad fixture: two thread targets race on closure-shared state.
+
+``producer`` mutates ``totals.count`` outside any lock while
+``consumer`` takes the lock — the candidate lockset across the two
+contexts intersects to nothing, the classic Eraser verdict.
+"""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self.count = 0
+
+
+def run(shards):
+    lock = threading.Lock()
+    totals = Stats()
+
+    def producer(shard):
+        totals.count += 1  # no lock held
+
+    def consumer(shard):
+        with lock:
+            totals.count -= 1
+
+    threads = [
+        threading.Thread(target=producer, args=(shard,)) for shard in shards
+    ] + [threading.Thread(target=consumer, args=(shard,)) for shard in shards]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return totals.count

@@ -1,0 +1,38 @@
+# reprolint: module=repro.service.fixture_r8_good
+"""R8 good fixture: the same sharing pattern, consistently locked.
+
+Every mutation of the closure-shared ``totals`` happens under the one
+lock, and per-thread state rides the target's own parameter (thread
+ownership, which the analysis treats as unshared by default).
+"""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self.count = 0
+        self.local_ops = 0
+
+
+def run(shards):
+    lock = threading.Lock()
+    totals = Stats()
+
+    def producer(shard):
+        shard.local_ops += 1  # parameter-rooted: thread-owned
+        with lock:
+            totals.count += 1
+
+    def consumer(shard):
+        with lock:
+            totals.count -= 1
+
+    threads = [
+        threading.Thread(target=producer, args=(shard,)) for shard in shards
+    ] + [threading.Thread(target=consumer, args=(shard,)) for shard in shards]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return totals.count

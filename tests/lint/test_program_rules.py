@@ -1,0 +1,263 @@
+"""Whole-program rules R7-R10: fixture pairs, pragma round-trips, the
+committed regressions (neutered WAL sync, lock-stripped scheduler), the
+module cache, and the new CLI surface (formats, --jobs, --explain)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import lint_file, run_lint
+from repro.lint.program import clear_cache, load_module
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+
+
+def _rules_hit(path: Path, module: str | None = None) -> dict[str, int]:
+    hit: dict[str, int] = {}
+    for violation in lint_file(path, module=module):
+        hit[violation.rule] = hit.get(violation.rule, 0) + 1
+    return hit
+
+
+class TestFixturePairs:
+    """Each program rule fires on its bad fixture, never on its good twin.
+
+    The fixtures carry ``# reprolint: module=repro.service...`` directives
+    so the service-scoped rules treat them as in-scope modules.
+    """
+
+    def test_r7_bad_flags_unsynced_wal_and_early_ack(self):
+        hit = _rules_hit(FIXTURES / "r7_bad.py")
+        # commit(), truncate(), and the ack-before-apply — nothing else.
+        assert hit == {"R7": 3}
+
+    def test_r7_good_barrier_paths_pass(self):
+        assert _rules_hit(FIXTURES / "r7_good.py") == {}
+
+    def test_r8_bad_flags_unlocked_shared_write(self):
+        hit = _rules_hit(FIXTURES / "r8_bad.py")
+        assert hit == {"R8": 1}
+
+    def test_r8_good_locked_and_thread_owned_pass(self):
+        assert _rules_hit(FIXTURES / "r8_good.py") == {}
+
+    def test_r9_bad_flags_cross_domain_mixes(self):
+        hit = _rules_hit(FIXTURES / "r9_bad.py")
+        # cross-domain subtract, timestamp+timestamp, cross-domain compare
+        assert hit == {"R9": 3}
+
+    def test_r9_good_sanctioned_helpers_pass(self):
+        assert _rules_hit(FIXTURES / "r9_good.py") == {}
+
+    def test_r10_bad_flags_pairing_and_quiesce_misuse(self):
+        hit = _rules_hit(FIXTURES / "r10_bad.py")
+        assert hit == {"R10": 4}
+
+    def test_r10_good_paired_lifecycles_pass(self):
+        assert _rules_hit(FIXTURES / "r10_good.py") == {}
+
+
+class TestPragmaRoundTrip:
+    """``# reprolint: allow[R7,...]`` suppresses program-rule findings at
+    exactly the flagged lines — insert pragmas above each violation and
+    the file goes clean; an unrelated rule id does not suppress."""
+
+    def _suppressed(self, fixture: str, rule: str, tmp_path: Path) -> None:
+        source = (FIXTURES / fixture).read_text()
+        found = lint_file(FIXTURES / fixture)
+        lines = source.splitlines(keepends=True)
+        for violation in sorted(found, key=lambda v: -v.line):
+            indent = lines[violation.line - 1][
+                : len(lines[violation.line - 1])
+                - len(lines[violation.line - 1].lstrip())
+            ]
+            lines.insert(
+                violation.line - 1, f"{indent}# reprolint: allow[{rule}]\n"
+            )
+        patched = tmp_path / fixture
+        patched.write_text("".join(lines))
+        remaining = [v for v in lint_file(patched) if v.rule == rule]
+        assert remaining == []
+
+    def test_r7_pragmas_suppress(self, tmp_path):
+        self._suppressed("r7_bad.py", "R7", tmp_path)
+
+    def test_r8_pragmas_suppress(self, tmp_path):
+        self._suppressed("r8_bad.py", "R8", tmp_path)
+
+    def test_r10_pragmas_suppress(self, tmp_path):
+        self._suppressed("r10_bad.py", "R10", tmp_path)
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        source = (FIXTURES / "r8_bad.py").read_text()
+        patched = tmp_path / "r8_still_bad.py"
+        patched.write_text(
+            source.replace(
+                "totals.count += 1",
+                "totals.count += 1  # reprolint: allow[R1]",
+            )
+        )
+        assert [v.rule for v in lint_file(patched)] == ["R8"]
+
+
+class TestHistoricalRegressions:
+    """R7/R8 must flag the *real* modules when their fixes are reverted.
+
+    These are the two bugs that motivated the rules: the PR 9 missing
+    ``FlashDevice.sync()`` barrier on the WAL path, and an unlocked
+    admission-queue access in the threaded scheduler.  Each test reverts
+    the fix in a scratch copy and asserts the rule fires — and that the
+    pristine copy stays clean, so the signal is the revert, not noise.
+    """
+
+    WAL = SRC / "engine" / "wal.py"
+    SERVICE = SRC / "service" / "service.py"
+    BARRIER = "        if self._sync is not None:\n            self._sync()\n"
+
+    def test_r7_flags_neutered_wal_sync_barrier(self, tmp_path):
+        source = self.WAL.read_text()
+        assert source.count(self.BARRIER) == 2, "barrier blocks moved?"
+        bad = tmp_path / "wal.py"
+        bad.write_text(source.replace(self.BARRIER, ""))
+        hit = [
+            v
+            for v in lint_file(bad, module="repro.engine.wal")
+            if v.rule == "R7"
+        ]
+        assert hit, "R7 missed the reverted sync() barrier"
+        flagged = " ".join(v.message for v in hit)
+        assert "commit" in flagged and "truncate" in flagged
+
+    def test_r7_clean_on_pristine_wal(self, tmp_path):
+        good = tmp_path / "wal.py"
+        good.write_text(self.WAL.read_text())
+        found = lint_file(good, module="repro.engine.wal")
+        assert [v for v in found if v.rule == "R7"] == []
+
+    def test_r8_flags_lock_stripped_scheduler(self, tmp_path):
+        source = self.SERVICE.read_text()
+        assert source.count("with locks[i]:") == 3, "lock regions moved?"
+        bad = tmp_path / "service.py"
+        bad.write_text(source.replace("with locks[i]:", "if True:", 1))
+        hit = [
+            v
+            for v in lint_file(bad, module="repro.service.service")
+            if v.rule == "R8"
+        ]
+        assert hit, "R8 missed the stripped worker lock"
+
+    def test_r8_clean_on_pristine_scheduler(self, tmp_path):
+        good = tmp_path / "service.py"
+        good.write_text(self.SERVICE.read_text())
+        found = lint_file(good, module="repro.service.service")
+        assert [v for v in found if v.rule == "R8"] == []
+
+
+class TestModuleCache:
+    def test_same_stat_reuses_parse(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        clear_cache()
+        first = load_module(target)
+        second = load_module(target)
+        assert first.tree is second.tree
+
+    def test_content_change_reparses(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        clear_cache()
+        first = load_module(target)
+        target.write_text("x = 1  # grew, so the stat signature changed\n")
+        second = load_module(target)
+        assert first.tree is not second.tree
+
+    def test_module_directive_overrides_path(self, tmp_path):
+        target = tmp_path / "whatever.py"
+        target.write_text("# reprolint: module=repro.service.foo\nx = 1\n")
+        assert load_module(target).module == "repro.service.foo"
+
+
+def _cli(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+class TestCli:
+    def test_unknown_select_is_usage_error(self):
+        result = _cli("--select", "R99", "src")
+        assert result.returncode == 2
+        assert "R99" in result.stderr
+
+    def test_explain_prints_rule_docstring(self):
+        result = _cli("--explain", "R8")
+        assert result.returncode == 0
+        assert "lockset" in result.stdout.lower()
+
+    def test_explain_unknown_rule(self):
+        result = _cli("--explain", "R42")
+        assert result.returncode == 2
+
+    def test_list_rules_covers_r1_through_r10(self):
+        result = _cli("--list-rules")
+        assert result.returncode == 0
+        for rule_id in ("R1", "R6", "R7", "R8", "R9", "R10"):
+            assert f"{rule_id} " in result.stdout
+
+    def test_json_format(self):
+        result = _cli(
+            "--format", "json", str(FIXTURES / "r7_bad.py")
+        )
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["count"] == 3
+        assert {v["rule"] for v in payload["violations"]} == {"R7"}
+
+    def test_sarif_format_to_file(self, tmp_path):
+        out = tmp_path / "lint.sarif"
+        result = _cli(
+            "--format", "sarif", "--output", str(out),
+            str(FIXTURES / "r9_bad.py"),
+        )
+        assert result.returncode == 1
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert len(results) == 3
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
+
+    def test_github_format_escapes_and_annotates(self):
+        result = _cli(
+            "--format", "github", str(FIXTURES / "r10_bad.py")
+        )
+        assert result.returncode == 1
+        lines = [
+            ln for ln in result.stdout.splitlines() if ln.startswith("::error ")
+        ]
+        assert len(lines) == 4
+        assert all("file=" in ln and "line=" in ln for ln in lines)
+
+    def test_parallel_jobs_match_serial(self):
+        serial = _cli()
+        parallel = _cli("--jobs", "2")
+        assert serial.returncode == parallel.returncode == 0
+        assert serial.stdout == parallel.stdout
+
+    def test_negative_jobs_is_usage_error(self):
+        result = _cli("--jobs", "-1", "src")
+        assert result.returncode == 2
+
+
+class TestHeadIsClean:
+    def test_full_rule_set_clean_at_head(self):
+        found = run_lint([REPO / "src", REPO / "tests"])
+        assert found == [], [v.render() for v in found]
